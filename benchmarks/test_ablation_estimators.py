@@ -1,0 +1,40 @@
+"""Ablation (beyond the paper): which cardinality estimator drives LAF best?
+
+The paper defers "studying the impact of the cardinality estimator
+being used" to future work; this bench runs LAF-DBSCAN with the learned
+RMI against the exact oracle (upper bound) and the classical estimators
+(sampling, KDE, radial histogram) on the MS-150k surrogate.
+"""
+
+from conftest import bench_workload, out_path
+
+from repro.experiments.ablation import estimator_ablation
+from repro.experiments.reporting import format_table, save_json
+
+EPS, TAU = 0.55, 5
+
+
+def test_ablation_estimator_choice(benchmark):
+    workload = bench_workload("MS-150k")
+
+    records = benchmark.pedantic(
+        estimator_ablation,
+        args=(workload.X_test, workload.X_train, workload.estimator, EPS, TAU),
+        kwargs={"alpha": 1.5},
+        rounds=1,
+        iterations=1,
+    )
+
+    headers = ["variant", "time_s", "ARI", "AMI", "FN", "merges"]
+    rows = [[r.as_row()[h] for h in headers] for r in records]
+    print()
+    print(format_table(headers, rows, title="Ablation: estimator choice (LAF-DBSCAN)"))
+
+    # Note the oracle is NOT an upper bound at alpha > 1: it then skips
+    # every true core with count in [tau, alpha*tau) *deterministically*,
+    # while noisy estimators overestimate some of them and keep them.
+    # (At alpha = 1 the oracle is exactly DBSCAN — covered by unit tests.)
+    for r in records:
+        assert r.ami > 0.2, f"{r.variant} collapsed: AMI={r.ami:.3f}"
+
+    save_json(out_path("ablation_estimators.json"), [r.as_row() for r in records])

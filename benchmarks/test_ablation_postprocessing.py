@@ -1,0 +1,42 @@
+"""Ablation (beyond the paper): how much does Algorithm 3 recover?
+
+Runs LAF-DBSCAN with and without the post-processing module at
+increasing error factors. More alpha means more false negatives, more
+wrongly split clusters — and more quality for Algorithm 3 to win back.
+"""
+
+from conftest import bench_workload, out_path
+
+from repro.experiments.ablation import postprocessing_ablation
+from repro.experiments.reporting import format_table, save_json
+
+EPS, TAU = 0.55, 5
+
+
+def test_ablation_postprocessing(benchmark):
+    workload = bench_workload("MS-150k")
+
+    records = benchmark.pedantic(
+        postprocessing_ablation,
+        args=(workload.X_test, workload.estimator, EPS, TAU),
+        kwargs={"alphas": (1.5, 3.0, 7.7)},
+        rounds=1,
+        iterations=1,
+    )
+
+    headers = ["variant", "time_s", "ARI", "AMI", "FN", "merges"]
+    rows = [[r.as_row()[h] for h in headers] for r in records]
+    print()
+    print(format_table(headers, rows, title="Ablation: post-processing on/off"))
+
+    # Post-processing never runs merges when disabled.
+    for r in records:
+        if "no-postproc" in r.variant:
+            assert r.merges == 0
+
+    # Averaged over the alpha grid, enabling Algorithm 3 does not hurt.
+    with_pp = [r.ami for r in records if "with-postproc" in r.variant]
+    without = [r.ami for r in records if "no-postproc" in r.variant]
+    assert sum(with_pp) >= sum(without) - 0.05
+
+    save_json(out_path("ablation_postprocessing.json"), [r.as_row() for r in records])

@@ -1,0 +1,46 @@
+"""Table 3: ARI/AMI of the approximate methods on the three largest
+datasets at the paper's three (eps, tau) settings.
+
+Paper shape to reproduce: LAF-DBSCAN reaches the best quality in most
+cells; LAF-DBSCAN++ trails DBSCAN++ slightly; every method degrades on
+the hardest (768-d MS) dataset relative to the easier two.
+"""
+
+import pytest
+from conftest import out_path
+
+from repro.experiments.param_select import PAPER_EPS_TAU
+from repro.experiments.quality import quality_comparison
+from repro.experiments.reporting import format_table, pivot, save_json
+
+_RESULTS: dict = {}
+
+
+@pytest.mark.parametrize("eps,tau", PAPER_EPS_TAU, ids=lambda v: str(v))
+def test_table3_quality(benchmark, largest_workloads, eps, tau):
+    datasets = {name: wl.X_test for name, wl in largest_workloads.items()}
+    estimators = {name: wl.estimator for name, wl in largest_workloads.items()}
+    alphas = {name: wl.alpha for name, wl in largest_workloads.items()}
+
+    records = benchmark.pedantic(
+        quality_comparison,
+        args=(datasets, estimators, alphas, eps, tau),
+        rounds=1,
+        iterations=1,
+    )
+    _RESULTS[(eps, tau)] = records
+
+    for metric in ("ARI", "AMI"):
+        headers, rows = pivot(records, value=metric)
+        print()
+        print(format_table(headers, rows, title=f"Table 3 ({metric}) @ eps={eps}, tau={tau}"))
+
+    # Sanity: every approximate method produced a scoreable result.
+    assert len(records) == 5 * len(datasets)
+    laf_records = [r for r in records if r.method == "LAF-DBSCAN"]
+    assert all(r.ami > 0.0 for r in laf_records)
+
+    save_json(
+        out_path(f"table3_quality_eps{eps}_tau{tau}.json"),
+        [r.as_row() for r in records],
+    )

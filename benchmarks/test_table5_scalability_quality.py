@@ -1,0 +1,40 @@
+"""Table 5: quality across MS dataset scales (eps=0.55, tau=5).
+
+Paper shape to reproduce: LAF-DBSCAN achieves the best quality in most
+cells; LAF-DBSCAN++ tracks DBSCAN++ increasingly closely as the data
+scale grows.
+"""
+
+from conftest import out_path
+
+from repro.experiments.quality import quality_comparison
+from repro.experiments.reporting import format_table, pivot, save_json
+
+EPS, TAU = 0.55, 5
+
+
+def test_table5_scalability_quality(benchmark, ms_workloads):
+    datasets = {name: wl.X_test for name, wl in ms_workloads.items()}
+    estimators = {name: wl.estimator for name, wl in ms_workloads.items()}
+    alphas = {name: wl.alpha for name, wl in ms_workloads.items()}
+
+    records = benchmark.pedantic(
+        quality_comparison,
+        args=(datasets, estimators, alphas, EPS, TAU),
+        rounds=1,
+        iterations=1,
+    )
+
+    for metric in ("ARI", "AMI"):
+        headers, rows = pivot(records, value=metric)
+        print()
+        print(
+            format_table(
+                headers, rows, title=f"Table 5 ({metric}) @ eps={EPS}, tau={TAU}"
+            )
+        )
+
+    laf = {r.dataset: r for r in records if r.method == "LAF-DBSCAN"}
+    assert all(r.ami > 0.0 for r in laf.values())
+
+    save_json(out_path("table5_scalability_quality.json"), [r.as_row() for r in records])

@@ -1,0 +1,58 @@
+"""Tuning LAF's error factor alpha and DBSCAN++'s sample fraction.
+
+Reproduces the paper's parameter methodology interactively:
+
+* sweep LAF-DBSCAN's alpha (Section 3.4) and print the speed-quality
+  curve, then apply the paper's selection heuristic (fastest setting
+  above a quality bar) via ``select_alpha``;
+* derive DBSCAN++'s sample fraction with the paper's automatic rule
+  ``p = delta + R_c`` where ``R_c`` is the estimator's predicted core
+  ratio (Section 3.1).
+
+Run:  python examples/tradeoff_tuning.py
+"""
+
+import os
+
+from repro import RMICardinalityEstimator, predicted_core_ratio, select_alpha
+from repro.clustering import DBSCAN
+from repro.data import load_dataset
+from repro.experiments.tradeoff import sweep_laf_alpha
+
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "0.04"))
+EPS, TAU = 0.5, 3
+
+
+def main() -> None:
+    dataset = load_dataset("Glove-150k", scale=SCALE, seed=0)
+    train, test = dataset.split()
+    estimator = RMICardinalityEstimator(epochs=40, n_train_queries=400, seed=0)
+    estimator.fit(train)
+
+    gt = DBSCAN(eps=EPS, tau=TAU).fit(test)
+    print(f"Glove surrogate: {test.shape[0]} x {dataset.dim}; "
+          f"DBSCAN finds {gt.n_clusters} clusters, noise {gt.noise_ratio:.0%}")
+
+    print("\nalpha sweep (speed-quality trade-off, Figure 3's LAF curve):")
+    print(f"{'alpha':>7s} {'time':>8s} {'ARI':>7s} {'AMI':>7s}")
+    points = sweep_laf_alpha(
+        test, gt.labels, estimator, EPS, TAU,
+        alphas=(1.1, 1.5, 2.0, 3.0, 5.0, 8.0, 15.0),
+    )
+    for p in points:
+        print(f"{p.value:7.1f} {p.elapsed_seconds:7.3f}s {p.ari:7.3f} {p.ami:7.3f}")
+
+    best, _ = select_alpha(
+        test, gt.labels, estimator, EPS, TAU,
+        alpha_grid=(1.1, 1.5, 2.0, 3.0, 5.0), min_ami=0.6,
+    )
+    print(f"\nselected alpha (fastest with AMI >= 0.6): {best}")
+
+    r_c = predicted_core_ratio(estimator, test, EPS, TAU)
+    print(f"\npredicted core ratio R_c = {r_c:.2f}")
+    for delta in (0.1, 0.2, 0.3):
+        print(f"  DBSCAN++ sample fraction p = {delta:.1f} + R_c = {delta + r_c:.2f}")
+
+
+if __name__ == "__main__":
+    main()

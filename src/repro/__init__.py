@@ -1,0 +1,98 @@
+"""LAF: Learned Accelerator Framework for angular-distance DBSCAN.
+
+Reproduction of Wang & Wang, "Learned Accelerator Framework for
+Angular-Distance-Based High-Dimensional DBSCAN" (EDBT 2023).
+
+Quickstart::
+
+    from repro import LAFDBSCAN, DBSCAN, RMICardinalityEstimator
+    from repro.data import load_dataset
+
+    ds = load_dataset("MS-50k", scale=0.01, seed=0)
+    train, test = ds.split()
+
+    estimator = RMICardinalityEstimator(seed=0).fit(train)
+    fast = LAFDBSCAN(eps=0.55, tau=5, estimator=estimator,
+                     alpha=ds.spec.alpha).fit(test)
+    exact = DBSCAN(eps=0.55, tau=5).fit(test)
+
+See ``examples/`` for full pipelines and ``benchmarks/`` for the
+reproduction of every table and figure in the paper.
+"""
+
+from repro.clustering import (
+    BlockDBSCAN,
+    Clusterer,
+    ClusteringResult,
+    DBSCAN,
+    DBSCANPlusPlus,
+    KNNBlockDBSCAN,
+    RhoApproxDBSCAN,
+)
+from repro.core import (
+    LAF,
+    LAFDBSCAN,
+    LAFDBSCANPlusPlus,
+    PartialNeighborMap,
+    post_process,
+    predicted_core_ratio,
+    select_alpha,
+)
+from repro.estimators import (
+    CardinalityEstimator,
+    ExactCardinalityEstimator,
+    KDECardinalityEstimator,
+    MLPRegressor,
+    RMICardinalityEstimator,
+    RadialHistogramEstimator,
+    SamplingCardinalityEstimator,
+)
+from repro.exceptions import (
+    DataValidationError,
+    EstimatorError,
+    InvalidParameterError,
+    NotFittedError,
+    ReproError,
+)
+from repro.metrics import (
+    adjusted_mutual_info,
+    adjusted_rand_index,
+    missed_cluster_stats,
+    noise_ratio,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlockDBSCAN",
+    "CardinalityEstimator",
+    "Clusterer",
+    "ClusteringResult",
+    "DBSCAN",
+    "DBSCANPlusPlus",
+    "DataValidationError",
+    "EstimatorError",
+    "ExactCardinalityEstimator",
+    "InvalidParameterError",
+    "KDECardinalityEstimator",
+    "KNNBlockDBSCAN",
+    "LAF",
+    "LAFDBSCAN",
+    "LAFDBSCANPlusPlus",
+    "MLPRegressor",
+    "NotFittedError",
+    "PartialNeighborMap",
+    "RMICardinalityEstimator",
+    "RadialHistogramEstimator",
+    "ReproError",
+    "RhoApproxDBSCAN",
+    "SamplingCardinalityEstimator",
+    "adjusted_mutual_info",
+    "adjusted_rand_index",
+    "missed_cluster_stats",
+    "noise_ratio",
+    "post_process",
+    "predicted_core_ratio",
+    "select_alpha",
+    "__version__",
+]

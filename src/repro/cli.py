@@ -1,0 +1,190 @@
+"""Command-line interface: run the paper's experiments without pytest.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro quality   --datasets MS-50k MS-150k --eps 0.55 --tau 5
+    python -m repro timing    --datasets MS-50k MS-150k --eps 0.55 --tau 5
+    python -m repro grid      --datasets MS-50k MS-100k MS-150k
+    python -m repro tradeoff  --dataset MS-150k --eps 0.5 --tau 3
+    python -m repro missed    --dataset MS-150k --eps 0.55 --tau 5
+
+Every subcommand prepares the paper's pipeline (generate -> 8:2 split ->
+train RMI on the training split) at ``--scale`` and prints the
+paper-shaped table; ``--json PATH`` additionally writes the rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.efficiency import speedup_summary, timing_comparison
+from repro.experiments.methods import APPROXIMATE_METHODS
+from repro.experiments.missed import missed_cluster_analysis
+from repro.experiments.param_select import parameter_grid
+from repro.experiments.quality import quality_comparison
+from repro.experiments.reporting import format_table, pivot, save_json
+from repro.experiments.runner import ground_truth
+from repro.experiments.tradeoff import (
+    sweep_dbscanpp,
+    sweep_laf_alpha,
+    sweep_laf_dbscanpp,
+)
+from repro.experiments.workloads import prepare_workloads
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LAF-DBSCAN paper reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, multi_dataset: bool) -> None:
+        if multi_dataset:
+            p.add_argument(
+                "--datasets", nargs="+", default=["MS-50k", "MS-100k", "MS-150k"]
+            )
+        else:
+            p.add_argument("--dataset", default="MS-150k")
+        p.add_argument("--scale", type=float, default=0.02)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--epochs", type=int, default=40)
+        p.add_argument("--json", default=None, help="write rows as JSON here")
+
+    p = sub.add_parser("quality", help="Table 3/5: ARI & AMI of all methods")
+    common(p, multi_dataset=True)
+    p.add_argument("--eps", type=float, default=0.55)
+    p.add_argument("--tau", type=int, default=5)
+
+    p = sub.add_parser("timing", help="Figure 1/4: clustering time of all methods")
+    common(p, multi_dataset=True)
+    p.add_argument("--eps", type=float, default=0.55)
+    p.add_argument("--tau", type=int, default=5)
+
+    p = sub.add_parser("grid", help="Table 2: (noise ratio, #clusters) grid")
+    common(p, multi_dataset=True)
+    p.add_argument("--eps-values", nargs="+", type=float, default=[0.5, 0.55, 0.6, 0.7])
+    p.add_argument("--tau-values", nargs="+", type=int, default=[3, 5])
+
+    p = sub.add_parser("tradeoff", help="Figure 2/3: speed-quality sweeps")
+    common(p, multi_dataset=False)
+    p.add_argument("--eps", type=float, default=0.5)
+    p.add_argument("--tau", type=int, default=3)
+
+    p = sub.add_parser("missed", help="Table 6: fully-missed-cluster stats")
+    common(p, multi_dataset=False)
+    p.add_argument("--eps", type=float, default=0.55)
+    p.add_argument("--tau", type=int, default=5)
+    p.add_argument("--alpha", type=float, default=None, help="override Table 1 alpha")
+
+    return parser
+
+
+def _prepare(args, names) -> tuple[dict, dict, dict]:
+    workloads = prepare_workloads(
+        tuple(names), scale=args.scale, seed=args.seed, epochs=args.epochs
+    )
+    datasets = {n: w.X_test for n, w in workloads.items()}
+    estimators = {n: w.estimator for n, w in workloads.items()}
+    alphas = {n: w.alpha for n, w in workloads.items()}
+    return datasets, estimators, alphas
+
+
+def _cmd_quality(args) -> list[dict]:
+    datasets, estimators, alphas = _prepare(args, args.datasets)
+    records = quality_comparison(datasets, estimators, alphas, args.eps, args.tau)
+    for metric in ("ARI", "AMI"):
+        headers, rows = pivot(records, value=metric)
+        print(format_table(headers, rows, title=f"{metric} @ eps={args.eps}, tau={args.tau}"))
+        print()
+    return [r.as_row() for r in records]
+
+
+def _cmd_timing(args) -> list[dict]:
+    datasets, estimators, alphas = _prepare(args, args.datasets)
+    records = timing_comparison(datasets, estimators, alphas, args.eps, args.tau)
+    headers, rows = pivot(records, value="time_s")
+    print(format_table(headers, rows, title=f"time (s) @ eps={args.eps}, tau={args.tau}"))
+    print("speedups:", speedup_summary(records))
+    return [r.as_row() for r in records]
+
+
+def _cmd_grid(args) -> list[dict]:
+    datasets, _, _ = _prepare(args, args.datasets)
+    cells = parameter_grid(
+        datasets, eps_values=args.eps_values, tau_values=args.tau_values
+    )
+    by_pair: dict[tuple[float, int], dict[str, str]] = {}
+    for cell in cells:
+        by_pair.setdefault((cell.eps, cell.tau), {})[cell.dataset] = cell.as_pair()
+    names = list(datasets)
+    rows = [
+        [f"({eps}, {tau})", *(by_pair[(eps, tau)].get(n, "-") for n in names)]
+        for (eps, tau) in sorted(by_pair)
+    ]
+    print(format_table(["(eps,tau)", *names], rows, title="(noise ratio, #clusters)"))
+    return [
+        {
+            "dataset": c.dataset,
+            "eps": c.eps,
+            "tau": c.tau,
+            "noise_ratio": c.noise_ratio,
+            "n_clusters": c.n_clusters,
+        }
+        for c in cells
+    ]
+
+
+def _cmd_tradeoff(args) -> list[dict]:
+    datasets, estimators, _ = _prepare(args, [args.dataset])
+    X = datasets[args.dataset]
+    estimator = estimators[args.dataset]
+    gt = ground_truth(X, args.eps, args.tau)
+    points = []
+    points += sweep_laf_alpha(X, gt.labels, estimator, args.eps, args.tau)
+    points += sweep_dbscanpp(X, gt.labels, estimator, args.eps, args.tau)
+    points += sweep_laf_dbscanpp(X, gt.labels, estimator, args.eps, args.tau)
+    headers = ["method", "knob", "value", "time_s", "ARI", "AMI"]
+    rows = [[p.as_row()[h] for h in headers] for p in points]
+    print(format_table(headers, rows, title=f"trade-off on {args.dataset}"))
+    return [p.as_row() for p in points]
+
+
+def _cmd_missed(args) -> list[dict]:
+    datasets, estimators, alphas = _prepare(args, [args.dataset])
+    alpha = args.alpha if args.alpha is not None else alphas[args.dataset]
+    stats, run_stats = missed_cluster_analysis(
+        datasets[args.dataset], estimators[args.dataset], args.eps, args.tau, alpha
+    )
+    row = stats.as_row()
+    print(
+        format_table(
+            ["dataset", "MC/TC", "MP/TPC", "ASMC", "FN detected"],
+            [[args.dataset, row["MC/TC"], row["MP/TPC"], row["ASMC"],
+              run_stats.get("fn_detected", 0)]],
+            title=f"fully missed clusters @ eps={args.eps}, tau={args.tau}, alpha={alpha}",
+        )
+    )
+    return [{**row, "dataset": args.dataset, "alpha": alpha}]
+
+
+_COMMANDS = {
+    "quality": _cmd_quality,
+    "timing": _cmd_timing,
+    "grid": _cmd_grid,
+    "tradeoff": _cmd_tradeoff,
+    "missed": _cmd_missed,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    args = build_parser().parse_args(argv)
+    rows = _COMMANDS[args.command](args)
+    if args.json:
+        save_json(args.json, rows)
+        print(f"\nwrote {args.json}")
+    return 0

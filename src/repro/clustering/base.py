@@ -1,0 +1,105 @@
+"""Shared clustering result type and the clusterer interface."""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+
+import numpy as np
+
+from repro.distances.metric import COSINE, Metric, get_metric
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["NOISE", "ClusteringResult", "Clusterer", "canonicalize_labels"]
+
+#: Label value for noise points in every result of this library.
+NOISE = -1
+
+
+def canonicalize_labels(labels: np.ndarray) -> np.ndarray:
+    """Relabel clusters to ``0 .. k-1`` in order of first appearance.
+
+    Noise (``-1``) is preserved. Makes results deterministic and
+    comparable regardless of internal id assignment order.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    out = np.full_like(labels, NOISE)
+    mapping: dict[int, int] = {}
+    for i, label in enumerate(labels):
+        if label == NOISE:
+            continue
+        if label not in mapping:
+            mapping[label] = len(mapping)
+        out[i] = mapping[label]
+    return out
+
+
+@dataclasses.dataclass
+class ClusteringResult:
+    """Labels plus the operational statistics the paper analyses.
+
+    Attributes
+    ----------
+    labels:
+        Cluster id per point, ``-1`` for noise, clusters numbered
+        ``0 .. k-1`` in first-appearance order.
+    core_mask:
+        Boolean core-point indicator where the algorithm determines it
+        (None for methods that never materialize core status per point).
+    stats:
+        Method-specific counters, e.g. ``range_queries`` (executed range
+        queries), ``cardest_calls`` / ``skipped_queries`` /
+        ``fn_detected`` / ``merges`` for LAF methods.
+    """
+
+    labels: np.ndarray
+    core_mask: np.ndarray | None = None
+    stats: dict[str, int | float] = dataclasses.field(default_factory=dict)
+
+    @property
+    def n_points(self) -> int:
+        return int(self.labels.shape[0])
+
+    @property
+    def n_clusters(self) -> int:
+        non_noise = self.labels[self.labels != NOISE]
+        return int(np.unique(non_noise).size)
+
+    @property
+    def noise_ratio(self) -> float:
+        if self.labels.size == 0:
+            return 0.0
+        return float(np.count_nonzero(self.labels == NOISE) / self.labels.size)
+
+    def cluster_members(self, cluster_id: int) -> np.ndarray:
+        """Indices of the points in one cluster."""
+        return np.flatnonzero(self.labels == cluster_id)
+
+
+class Clusterer(abc.ABC):
+    """Interface of every clustering algorithm in this library.
+
+    Construction fixes the hyperparameters; :meth:`fit` runs the
+    algorithm on one dataset and returns a :class:`ClusteringResult`.
+
+    The default metric is cosine distance (the paper's setting). DBSCAN
+    and LAF-DBSCAN also accept ``metric="euclidean"`` (the paper's
+    future-work extension); the tree/grid-based baselines are tied to
+    the unit sphere by their Equation 1 conversions and stay cosine.
+    """
+
+    def __init__(self, eps: float, tau: int, metric: str | Metric = COSINE) -> None:
+        self.metric = get_metric(metric)
+        self.metric.check_eps(eps)
+        if tau < 1:
+            raise InvalidParameterError(f"tau must be at least 1; got {tau}")
+        self.eps = float(eps)
+        self.tau = int(tau)
+
+    @abc.abstractmethod
+    def fit(self, X: np.ndarray) -> ClusteringResult:
+        """Cluster the rows of ``X`` (unit-normalized vectors)."""
+
+    def fit_predict(self, X: np.ndarray) -> np.ndarray:
+        """Convenience: :meth:`fit` and return only the labels."""
+        return self.fit(X).labels

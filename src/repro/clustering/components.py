@@ -1,0 +1,40 @@
+"""Connected components of the eps-proximity graph over a point set.
+
+DBSCAN++ (and LAF-DBSCAN++) cluster their detected core points by
+connecting any two within ``eps``. Materializing all edges is quadratic
+in the worst case, so this helper runs a BFS whose adjacency test is one
+matrix-vector product per visited point — O(m) BLAS calls total, no
+Python-level pair loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["connected_components_within"]
+
+
+def connected_components_within(X: np.ndarray, eps: float) -> np.ndarray:
+    """Component id per row of ``X`` under cosine-distance-< eps adjacency.
+
+    Returns an int array of component labels ``0 .. k-1`` (every row gets
+    one; singletons form their own components).
+    """
+    X = np.asarray(X, dtype=np.float64)
+    m = X.shape[0]
+    labels = np.full(m, -1, dtype=np.int64)
+    component = -1
+    for start in range(m):
+        if labels[start] != -1:
+            continue
+        component += 1
+        labels[start] = component
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            dists = 1.0 - X @ X[node]
+            neighbors = np.flatnonzero((dists < eps) & (labels == -1))
+            if neighbors.size:
+                labels[neighbors] = component
+                frontier.extend(neighbors.tolist())
+    return labels

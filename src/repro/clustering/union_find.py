@@ -1,0 +1,66 @@
+"""Disjoint-set union (union-find) with path compression and union by size.
+
+Used wherever clusters merge: DBSCAN++ core-graph components,
+block-merging in the block-based baselines, cell merging in
+rho-approximate DBSCAN, and LAF's post-processing cluster merges.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Forest over the integers ``0 .. n-1``."""
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise InvalidParameterError(f"n must be non-negative; got {n}")
+        self._parent = list(range(n))
+        self._size = [1] * n
+        self._n_components = n
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    @property
+    def n_components(self) -> int:
+        """Current number of disjoint sets."""
+        return self._n_components
+
+    def find(self, x: int) -> int:
+        """Representative of ``x``'s set (with path compression)."""
+        parent = self._parent
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> int:
+        """Merge the sets of ``a`` and ``b``; return the new representative."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        self._n_components -= 1
+        return ra
+
+    def connected(self, a: int, b: int) -> bool:
+        """True when ``a`` and ``b`` share a set."""
+        return self.find(a) == self.find(b)
+
+    def groups(self) -> dict[int, list[int]]:
+        """Mapping from representative to sorted members."""
+        out: dict[int, list[int]] = defaultdict(list)
+        for x in range(len(self._parent)):
+            out[self.find(x)].append(x)
+        return dict(out)

@@ -1,0 +1,126 @@
+"""The map ``E`` of predicted stop points and Algorithm 2.
+
+``E`` records every point the estimator predicted to be a stop point
+(non-core/noise) together with its *partial neighbors* — the subset of
+its true neighbors discovered for free while other points ran their
+range queries. Algorithm 2 (``UpdatePartialNeighbors``) exploits
+symmetry: if a range query from ``P`` finds the predicted stop point
+``P_n``, then ``P`` is also a neighbor of ``P_n`` and is appended to
+``E(P_n)``.
+
+The invariant "``E(P)`` is a subset of P's true eps-neighborhood" is what
+makes Algorithm 3 sound: observing ``|E(P)| >= tau`` proves ``P`` is a
+true core point, i.e. a false negative of the estimator.
+
+Implementation note: ``update`` is on the per-range-query hot path, so
+it only appends vectorized filter results; the per-stop-point neighbor
+sets are materialized lazily (with exact set semantics — duplicate
+contributions collapse) the first time the map is read.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+__all__ = ["PartialNeighborMap"]
+
+
+class PartialNeighborMap:
+    """Insertion-ordered map from predicted stop points to partial neighbors.
+
+    Point ids are dataset row indices. A boolean membership array makes
+    Algorithm 2's per-neighbor test a vectorized filter.
+    """
+
+    def __init__(self, n_points: int) -> None:
+        self._n_points = n_points
+        self._is_stop = np.zeros(n_points, dtype=bool)
+        self._registered: list[int] = []  # insertion order
+        # Pending (stop points, contributor) events, aggregated lazily.
+        self._event_stops: list[np.ndarray] = []
+        self._event_contributors: list[int] = []
+        self._materialized: dict[int, set[int]] | None = None
+
+    def __len__(self) -> int:
+        return len(self._registered)
+
+    def __contains__(self, point: int) -> bool:
+        return bool(self._is_stop[point])
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._registered)
+
+    def register_stop_point(self, point: int) -> None:
+        """Algorithm 1, lines 8/27: ``if P not in E then E(P) := {}``."""
+        if not self._is_stop[point]:
+            self._is_stop[point] = True
+            self._registered.append(int(point))
+            if self._materialized is not None:
+                self._materialized[int(point)] = set()
+
+    def update(self, point: int, neighbors: np.ndarray) -> None:
+        """Algorithm 2: add ``point`` to ``E(P_n)`` for every recorded
+        ``P_n`` among its discovered ``neighbors``."""
+        neighbors = np.asarray(neighbors)
+        if neighbors.size == 0:
+            return
+        recorded = neighbors[self._is_stop[neighbors]]
+        point = int(point)
+        recorded = recorded[recorded != point]
+        if recorded.size == 0:
+            return
+        self._event_stops.append(np.asarray(recorded, dtype=np.int64))
+        self._event_contributors.append(point)
+        self._materialized = None
+
+    # ------------------------------------------------------------------
+    # Lazy aggregation
+    # ------------------------------------------------------------------
+
+    def _materialize(self) -> dict[int, set[int]]:
+        if self._materialized is not None:
+            return self._materialized
+        table: dict[int, set[int]] = {p: set() for p in self._registered}
+        if self._event_stops:
+            stops = np.concatenate(self._event_stops)
+            contributors = np.repeat(
+                np.asarray(self._event_contributors, dtype=np.int64),
+                [a.size for a in self._event_stops],
+            )
+            # Exact set semantics: collapse duplicate (stop, contributor)
+            # pairs in one vectorized pass.
+            pair_keys = stops * self._n_points + contributors
+            _, unique_idx = np.unique(pair_keys, return_index=True)
+            stops = stops[unique_idx]
+            contributors = contributors[unique_idx]
+            order = np.argsort(stops, kind="stable")
+            stops = stops[order]
+            contributors = contributors[order]
+            boundaries = np.flatnonzero(np.diff(stops)) + 1
+            for group_stops, group_contribs in zip(
+                np.split(stops, boundaries), np.split(contributors, boundaries)
+            ):
+                table[int(group_stops[0])].update(group_contribs.tolist())
+        self._materialized = table
+        return table
+
+    # ------------------------------------------------------------------
+    # Read API
+    # ------------------------------------------------------------------
+
+    def neighbors_of(self, point: int) -> set[int]:
+        """The partial-neighbor set ``E(P)`` (empty if unrecorded)."""
+        return self._materialize().get(int(point), set())
+
+    def items(self) -> Iterator[tuple[int, set[int]]]:
+        """Iterate (stop point, partial neighbors) in insertion order."""
+        table = self._materialize()
+        return iter((p, table[p]) for p in self._registered)
+
+    def false_negative_candidates(self, tau: int) -> list[int]:
+        """Stop points with at least ``tau`` partial neighbors —
+        provably core, hence false negatives (Algorithm 3, line 2)."""
+        table = self._materialize()
+        return [p for p in self._registered if len(table[p]) >= tau]

@@ -1,0 +1,47 @@
+"""Train/test splitting.
+
+The paper splits every dataset 8:2, trains the cardinality estimator on
+the training 80% and runs all clustering methods on the testing 20%.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.rng import ensure_rng
+
+__all__ = ["train_test_split"]
+
+
+def train_test_split(
+    X: np.ndarray,
+    train_fraction: float = 0.8,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shuffle and split rows of ``X`` into (train, test).
+
+    Parameters
+    ----------
+    train_fraction:
+        Fraction of rows in the training part, in (0, 1). The paper uses
+        0.8.
+    seed:
+        Seed for the shuffle.
+
+    Returns
+    -------
+    ``(X_train, X_test)`` — views into a shuffled copy.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise InvalidParameterError(
+            f"train_fraction must lie strictly between 0 and 1; got {train_fraction}"
+        )
+    X = np.asarray(X)
+    if X.ndim != 2 or X.shape[0] < 2:
+        raise InvalidParameterError("X must be a 2-D matrix with at least 2 rows")
+    rng = ensure_rng(seed)
+    order = rng.permutation(X.shape[0])
+    cut = int(round(train_fraction * X.shape[0]))
+    cut = min(max(cut, 1), X.shape[0] - 1)
+    return X[order[:cut]], X[order[cut:]]

@@ -1,0 +1,106 @@
+"""von Mises-Fisher sampling on the unit hypersphere.
+
+The vMF distribution is the canonical model for directional (angular)
+data: density proportional to ``exp(kappa * <mu, x>)`` on the sphere.
+Sampling uses Wood's (1994) rejection scheme for the cosine component
+plus a uniform tangent direction, then a Householder reflection carries
+the north pole onto the requested mean direction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.rng import ensure_rng
+
+__all__ = ["sample_vmf"]
+
+
+def _sample_cosines(dim: int, kappa: float, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Wood's rejection sampler for the component along the mean direction."""
+    b = (-2.0 * kappa + np.sqrt(4.0 * kappa**2 + (dim - 1.0) ** 2)) / (dim - 1.0)
+    x0 = (1.0 - b) / (1.0 + b)
+    c = kappa * x0 + (dim - 1.0) * np.log(1.0 - x0**2)
+    out = np.empty(n)
+    filled = 0
+    while filled < n:
+        m = max(n - filled, 16)
+        z = rng.beta((dim - 1.0) / 2.0, (dim - 1.0) / 2.0, size=m)
+        w = (1.0 - (1.0 + b) * z) / (1.0 - (1.0 - b) * z)
+        u = rng.uniform(size=m)
+        accept = kappa * w + (dim - 1.0) * np.log1p(-x0 * w) - c >= np.log(u)
+        accepted = w[accept]
+        take = min(accepted.size, n - filled)
+        out[filled : filled + take] = accepted[:take]
+        filled += take
+    return out
+
+
+def _householder_rotate(samples: np.ndarray, mu: np.ndarray) -> np.ndarray:
+    """Map samples concentrated around ``e_1`` to concentrate around ``mu``."""
+    dim = mu.size
+    e1 = np.zeros(dim)
+    e1[0] = 1.0
+    u = e1 - mu
+    norm = np.linalg.norm(u)
+    if norm < 1e-12:  # mu is (numerically) the north pole already
+        return samples
+    u /= norm
+    return samples - 2.0 * np.outer(samples @ u, u)
+
+
+def sample_vmf(
+    mu: np.ndarray,
+    kappa: float,
+    n: int,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Draw ``n`` unit vectors from vMF(``mu``, ``kappa``).
+
+    Parameters
+    ----------
+    mu:
+        Mean direction; normalized internally.
+    kappa:
+        Concentration >= 0. ``kappa = 0`` is the uniform distribution on
+        the sphere.
+    n:
+        Number of samples.
+    seed:
+        Seed or generator.
+
+    Returns
+    -------
+    Array of shape ``(n, dim)`` with unit rows.
+    """
+    mu = np.asarray(mu, dtype=np.float64)
+    if mu.ndim != 1 or mu.size < 2:
+        raise InvalidParameterError("mu must be a 1-D vector with dim >= 2")
+    if kappa < 0:
+        raise InvalidParameterError(f"kappa must be non-negative; got {kappa}")
+    if n < 0:
+        raise InvalidParameterError(f"n must be non-negative; got {n}")
+    rng = ensure_rng(seed)
+    dim = mu.size
+    if n == 0:
+        return np.empty((0, dim))
+    norm = np.linalg.norm(mu)
+    if norm == 0.0:
+        raise InvalidParameterError("mu must be non-zero")
+    mu = mu / norm
+
+    if kappa == 0.0:
+        raw = rng.normal(size=(n, dim))
+        return raw / np.linalg.norm(raw, axis=1, keepdims=True)
+
+    w = _sample_cosines(dim, kappa, n, rng)
+    # Uniform directions in the tangent space of e_1.
+    tangent = rng.normal(size=(n, dim - 1))
+    tangent /= np.linalg.norm(tangent, axis=1, keepdims=True)
+    samples = np.empty((n, dim))
+    samples[:, 0] = w
+    samples[:, 1:] = np.sqrt(np.clip(1.0 - w**2, 0.0, None))[:, None] * tangent
+    rotated = _householder_rotate(samples, mu)
+    # Renormalize to wash out accumulated rounding.
+    return rotated / np.linalg.norm(rotated, axis=1, keepdims=True)

@@ -1,0 +1,56 @@
+"""Equation 1 of the paper: cosine <-> Euclidean threshold conversion.
+
+For unit vectors ``u, v``:
+
+    ||u - v||^2 = 2 - 2 <u, v> = 2 * d_cos(u, v)
+
+so ``d_euc = sqrt(2 * d_cos)`` and ``d_cos = d_euc^2 / 2``. The paper uses
+this to drive Euclidean-only baselines with thresholds equivalent to its
+cosine thresholds (e.g. ``d_cos = 0.5  <=>  d_euc = 1.0``); the metric-tree
+indexes in this library use it the same way, because Euclidean distance on
+the sphere is a true metric while cosine distance is not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["euclidean_from_cosine", "cosine_from_euclidean"]
+
+#: Cosine distance on unit vectors lies in [0, 2].
+MAX_COSINE_DISTANCE = 2.0
+#: Euclidean distance between unit vectors lies in [0, 2].
+MAX_EUCLIDEAN_DISTANCE = 2.0
+
+
+def euclidean_from_cosine(d_cos):
+    """Convert cosine distance(s) on unit vectors to Euclidean distance(s).
+
+    Accepts scalars or arrays. Raises
+    :class:`~repro.exceptions.InvalidParameterError` outside [0, 2].
+    """
+    d = np.asarray(d_cos, dtype=np.float64)
+    if np.any(d < 0.0) or np.any(d > MAX_COSINE_DISTANCE):
+        raise InvalidParameterError(
+            f"cosine distance must lie in [0, {MAX_COSINE_DISTANCE}]; got {d_cos!r}"
+        )
+    out = np.sqrt(2.0 * d)
+    return float(out) if np.isscalar(d_cos) or out.ndim == 0 else out
+
+
+def cosine_from_euclidean(d_euc):
+    """Convert Euclidean distance(s) between unit vectors to cosine distance(s).
+
+    Inverse of :func:`euclidean_from_cosine`. Raises
+    :class:`~repro.exceptions.InvalidParameterError` outside [0, 2].
+    """
+    d = np.asarray(d_euc, dtype=np.float64)
+    if np.any(d < 0.0) or np.any(d > MAX_EUCLIDEAN_DISTANCE):
+        raise InvalidParameterError(
+            f"euclidean distance between unit vectors must lie in "
+            f"[0, {MAX_EUCLIDEAN_DISTANCE}]; got {d_euc!r}"
+        )
+    out = (d * d) / 2.0
+    return float(out) if np.isscalar(d_euc) or out.ndim == 0 else out

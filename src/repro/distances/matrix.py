@@ -1,0 +1,67 @@
+"""Batched and blockwise distance-matrix computation.
+
+Full ``n x n`` distance matrices are quadratic in memory; the blockwise
+iterator keeps peak memory bounded while staying vectorized, which is what
+the brute-force index and the training-set builder use for large inputs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "cosine_distance_matrix",
+    "euclidean_distance_matrix",
+    "pairwise_cosine_within",
+    "iter_distance_blocks",
+]
+
+#: Default number of query rows per block in blockwise iteration.
+DEFAULT_BLOCK_SIZE = 1024
+
+
+def cosine_distance_matrix(Q: np.ndarray, X: np.ndarray) -> np.ndarray:
+    """Cosine distances between every row of ``Q`` and every row of ``X``.
+
+    Both inputs must be unit-normalized. Returns shape ``(len(Q), len(X))``.
+    """
+    return 1.0 - np.asarray(Q, dtype=np.float64) @ np.asarray(X, dtype=np.float64).T
+
+
+def euclidean_distance_matrix(Q: np.ndarray, X: np.ndarray) -> np.ndarray:
+    """Euclidean distances between rows of ``Q`` and rows of ``X``."""
+    Q = np.asarray(Q, dtype=np.float64)
+    X = np.asarray(X, dtype=np.float64)
+    q_sq = np.einsum("ij,ij->i", Q, Q)[:, None]
+    x_sq = np.einsum("ij,ij->i", X, X)[None, :]
+    sq = q_sq - 2.0 * (Q @ X.T) + x_sq
+    return np.sqrt(np.clip(sq, 0.0, None))
+
+
+def pairwise_cosine_within(X: np.ndarray) -> np.ndarray:
+    """Symmetric cosine-distance matrix of a single point set."""
+    return cosine_distance_matrix(X, X)
+
+
+def iter_distance_blocks(
+    Q: np.ndarray,
+    X: np.ndarray,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> Iterator[tuple[int, int, np.ndarray]]:
+    """Yield ``(start, stop, D_block)`` cosine-distance blocks of ``Q`` vs ``X``.
+
+    ``D_block`` has shape ``(stop - start, len(X))``; concatenating all
+    blocks reproduces :func:`cosine_distance_matrix` exactly, but peak
+    memory is ``block_size * len(X)`` floats.
+    """
+    if block_size <= 0:
+        raise InvalidParameterError(f"block_size must be positive; got {block_size}")
+    Q = np.asarray(Q, dtype=np.float64)
+    X = np.asarray(X, dtype=np.float64)
+    for start in range(0, Q.shape[0], block_size):
+        stop = min(start + block_size, Q.shape[0])
+        yield start, stop, 1.0 - Q[start:stop] @ X.T

@@ -1,0 +1,59 @@
+"""Validation helpers for vector inputs.
+
+Angular distance is only meaningful on unit-normalized, finite vectors;
+these checks turn silent geometry bugs into loud, early errors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+
+__all__ = ["check_finite_2d", "check_unit_norm", "is_unit_normalized"]
+
+#: Absolute tolerance for ``||x|| == 1`` checks. Loose enough for float32
+#: pipelines, tight enough to catch un-normalized data.
+UNIT_NORM_ATOL = 1e-4
+
+
+def check_finite_2d(X: np.ndarray, name: str = "X") -> np.ndarray:
+    """Validate that ``X`` is a finite 2-D float array and return it.
+
+    Accepts anything convertible to ``ndarray``; lists are converted.
+    Raises :class:`DataValidationError` on wrong rank or non-finite values.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise DataValidationError(
+            f"{name} must be 2-dimensional (n_points, dim); got shape {X.shape}"
+        )
+    if X.shape[0] == 0 or X.shape[1] == 0:
+        raise DataValidationError(f"{name} must be non-empty; got shape {X.shape}")
+    if not np.isfinite(X).all():
+        raise DataValidationError(f"{name} contains NaN or infinite values")
+    return X
+
+
+def is_unit_normalized(X: np.ndarray, atol: float = UNIT_NORM_ATOL) -> bool:
+    """Return True when every row of ``X`` has L2 norm 1 within ``atol``."""
+    X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+    # einsum + manual tolerance: one pass, no intermediate allocations.
+    sq_norms = np.einsum("ij,ij->i", X, X)
+    return bool(np.abs(np.sqrt(sq_norms) - 1.0).max() <= atol)
+
+
+def check_unit_norm(X: np.ndarray, name: str = "X") -> np.ndarray:
+    """Validate that ``X`` is finite, 2-D and row-normalized; return it.
+
+    Raises :class:`DataValidationError` otherwise. Use
+    :func:`repro.distances.normalize_rows` to fix offending input.
+    """
+    X = check_finite_2d(X, name=name)
+    if not is_unit_normalized(X):
+        worst = float(np.abs(np.linalg.norm(X, axis=1) - 1.0).max())
+        raise DataValidationError(
+            f"{name} must be unit-normalized for angular distance "
+            f"(max |norm - 1| = {worst:.3g}); call normalize_rows() first"
+        )
+    return X

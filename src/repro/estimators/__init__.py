@@ -1,0 +1,36 @@
+"""Cardinality estimation for distance-range queries.
+
+The heart of LAF: predict ``|{x in D : d_cos(q, x) < eps}|`` *without*
+executing the range query. The paper's estimator is a three-stage
+Recursive Model Index of fully-connected networks (borrowed from
+CardNet's baseline); this package reimplements it in pure numpy
+(:class:`RMICardinalityEstimator` on top of :class:`MLPRegressor`) and
+adds the classical baselines used for ablations: exact oracle, uniform
+sampling, kernel density smoothing and a pivot-based radial histogram.
+
+Estimators learn the data distribution from a *training split* and
+predict **fractions** internally, scaling by the target dataset's size at
+query time — that is what lets a model trained on the 80% split estimate
+cardinalities over the 20% split the paper clusters.
+"""
+
+from repro.estimators.base import CardinalityEstimator
+from repro.estimators.exact import ExactCardinalityEstimator
+from repro.estimators.histogram import RadialHistogramEstimator
+from repro.estimators.kde import KDECardinalityEstimator
+from repro.estimators.mlp import MLPRegressor
+from repro.estimators.rmi import RMICardinalityEstimator
+from repro.estimators.sampling import SamplingCardinalityEstimator
+from repro.estimators.training_data import TrainingSet, build_training_set
+
+__all__ = [
+    "CardinalityEstimator",
+    "ExactCardinalityEstimator",
+    "KDECardinalityEstimator",
+    "MLPRegressor",
+    "RMICardinalityEstimator",
+    "RadialHistogramEstimator",
+    "SamplingCardinalityEstimator",
+    "TrainingSet",
+    "build_training_set",
+]

@@ -1,0 +1,284 @@
+"""Fully-connected regression network in pure numpy.
+
+Implements the building block of the paper's RMI estimator: an MLP with
+ReLU hidden layers and a linear output, trained with minibatch Adam on
+mean-squared error. The paper's stage networks use four hidden layers of
+widths 512/512/256/128; that architecture is available via
+:func:`paper_hidden_layers`, while the default is smaller for CPU
+wall-clock reasons (the benchmarks document which one they use).
+
+Features are standardized internally (mean/variance of the training set)
+so callers never worry about scaling; weights initialize with He fan-in
+scaling from a seeded generator, making training fully deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.rng import ensure_rng
+
+__all__ = ["MLPRegressor", "TrainingHistory", "paper_hidden_layers"]
+
+
+def paper_hidden_layers() -> tuple[int, ...]:
+    """The stage-network architecture used in the paper (Section 3.1)."""
+    return (512, 512, 256, 128)
+
+
+@dataclasses.dataclass
+class TrainingHistory:
+    """Per-epoch mean training loss, recorded by :meth:`MLPRegressor.fit`."""
+
+    losses: list[float] = dataclasses.field(default_factory=list)
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.losses)
+
+    @property
+    def final_loss(self) -> float:
+        if not self.losses:
+            raise NotFittedError("no training epochs recorded")
+        return self.losses[-1]
+
+
+class _AdamState:
+    """First/second moment buffers for one parameter tensor."""
+
+    __slots__ = ("m", "v")
+
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        self.m = np.zeros(shape)
+        self.v = np.zeros(shape)
+
+    def update(
+        self, param: np.ndarray, grad: np.ndarray, lr: float, t: int,
+        beta1: float, beta2: float, eps: float,
+    ) -> None:
+        self.m = beta1 * self.m + (1.0 - beta1) * grad
+        self.v = beta2 * self.v + (1.0 - beta2) * grad * grad
+        m_hat = self.m / (1.0 - beta1**t)
+        v_hat = self.v / (1.0 - beta2**t)
+        param -= lr * m_hat / (np.sqrt(v_hat) + eps)
+
+
+class MLPRegressor:
+    """Minimal feed-forward regressor: ReLU hidden layers, linear output.
+
+    Parameters
+    ----------
+    hidden_layers:
+        Widths of the hidden layers.
+    learning_rate, batch_size, epochs:
+        Adam/minibatch hyperparameters.
+    seed:
+        Seed for initialization and shuffling.
+    l2:
+        Optional weight decay coefficient.
+    """
+
+    def __init__(
+        self,
+        hidden_layers: tuple[int, ...] = (64, 64, 32),
+        learning_rate: float = 1e-3,
+        batch_size: int = 128,
+        epochs: int = 60,
+        seed: int | np.random.Generator | None = 0,
+        l2: float = 0.0,
+    ) -> None:
+        if any(h <= 0 for h in hidden_layers):
+            raise InvalidParameterError(f"hidden widths must be positive; got {hidden_layers}")
+        if learning_rate <= 0:
+            raise InvalidParameterError(f"learning_rate must be positive; got {learning_rate}")
+        if batch_size <= 0 or epochs <= 0:
+            raise InvalidParameterError("batch_size and epochs must be positive")
+        if l2 < 0:
+            raise InvalidParameterError(f"l2 must be non-negative; got {l2}")
+        self.hidden_layers = tuple(int(h) for h in hidden_layers)
+        self.learning_rate = float(learning_rate)
+        self.batch_size = int(batch_size)
+        self.epochs = int(epochs)
+        self.l2 = float(l2)
+        self._rng = ensure_rng(seed)
+        self._weights: list[np.ndarray] = []
+        self._biases: list[np.ndarray] = []
+        self._feature_mean: np.ndarray | None = None
+        self._feature_std: np.ndarray | None = None
+        self._fold_cache: tuple[np.ndarray, np.ndarray] | None = None
+        self.history = TrainingHistory()
+
+    # ------------------------------------------------------------------
+    # Initialization and state
+    # ------------------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self._weights)
+
+    def _init_params(self, in_dim: int) -> None:
+        sizes = [in_dim, *self.hidden_layers, 1]
+        self._weights = []
+        self._biases = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self._weights.append(self._rng.normal(scale=scale, size=(fan_in, fan_out)))
+            self._biases.append(np.zeros(fan_out))
+
+    def clone_from(self, other: "MLPRegressor") -> "MLPRegressor":
+        """Copy fitted parameters from another network (same architecture).
+
+        Used by the RMI when a stage model receives too few routed
+        examples to train on its own: it inherits its parent's function.
+        """
+        if not other.is_fitted:
+            raise NotFittedError("cannot clone from an unfitted network")
+        self._weights = [w.copy() for w in other._weights]
+        self._biases = [b.copy() for b in other._biases]
+        self._feature_mean = None if other._feature_mean is None else other._feature_mean.copy()
+        self._feature_std = None if other._feature_std is None else other._feature_std.copy()
+        self._fold_cache = None
+        return self
+
+    # ------------------------------------------------------------------
+    # Forward / backward
+    # ------------------------------------------------------------------
+
+    def _standardize(self, X: np.ndarray) -> np.ndarray:
+        return (X - self._feature_mean) / self._feature_std
+
+    def _forward(self, X: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Return (output, activations) where activations[i] feeds layer i."""
+        activations = [X]
+        h = X
+        last = len(self._weights) - 1
+        for i, (W, b) in enumerate(zip(self._weights, self._biases)):
+            z = h @ W + b
+            h = z if i == last else np.maximum(z, 0.0)
+            activations.append(h)
+        return h[:, 0], activations
+
+    def _folded_first_layer(self) -> tuple[np.ndarray, np.ndarray]:
+        """First-layer weights with input standardization folded in.
+
+        Standardization is affine, so ``relu((X - m)/s @ W + b)`` equals
+        ``relu(X @ (W/s) + (b - (m/s) @ W))``; folding removes the full
+        (n, dim) standardization pass from the prediction hot path.
+        """
+        if self._fold_cache is None:
+            W0 = self._weights[0] / self._feature_std[:, None]
+            b0 = self._biases[0] - (self._feature_mean / self._feature_std) @ self._weights[0]
+            self._fold_cache = (W0, b0)
+        return self._fold_cache
+
+    def _forward_inference(self, X: np.ndarray) -> np.ndarray:
+        """Prediction-only forward pass on raw (unstandardized) features."""
+        W0, b0 = self._folded_first_layer()
+        last = len(self._weights) - 1
+        z = X @ W0 + b0
+        h = z if last == 0 else np.maximum(z, 0.0)
+        for i in range(1, len(self._weights)):
+            z = h @ self._weights[i] + self._biases[i]
+            h = z if i == last else np.maximum(z, 0.0)
+        return h[:, 0]
+
+    def _backward(
+        self, activations: list[np.ndarray], residual: np.ndarray
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Gradients of mean-squared error w.r.t. weights and biases."""
+        n = residual.shape[0]
+        grad_w: list[np.ndarray] = [None] * len(self._weights)
+        grad_b: list[np.ndarray] = [None] * len(self._biases)
+        # dL/dz for the output layer; L = mean(residual^2), residual = pred - y.
+        delta = (2.0 / n) * residual[:, None]
+        for i in range(len(self._weights) - 1, -1, -1):
+            grad_w[i] = activations[i].T @ delta
+            if self.l2:
+                grad_w[i] = grad_w[i] + self.l2 * self._weights[i]
+            grad_b[i] = delta.sum(axis=0)
+            if i > 0:
+                delta = (delta @ self._weights[i].T) * (activations[i] > 0.0)
+        return grad_w, grad_b
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPRegressor":
+        """Train on (features, targets) with minibatch Adam."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise InvalidParameterError(
+                f"X must be (n, d) aligned with y; got {X.shape} vs {y.shape}"
+            )
+        self._feature_mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std < 1e-12] = 1.0
+        self._feature_std = std
+        Xs = self._standardize(X)
+        self._init_params(X.shape[1])
+        adam_w = [_AdamState(w.shape) for w in self._weights]
+        adam_b = [_AdamState(b.shape) for b in self._biases]
+        beta1, beta2, adam_eps = 0.9, 0.999, 1e-8
+        step = 0
+        self.history = TrainingHistory()
+        n = Xs.shape[0]
+        for _ in range(self.epochs):
+            order = self._rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                pred, activations = self._forward(Xs[batch])
+                residual = pred - y[batch]
+                epoch_loss += float((residual**2).sum())
+                grad_w, grad_b = self._backward(activations, residual)
+                step += 1
+                for W, g, state in zip(self._weights, grad_w, adam_w):
+                    state.update(W, g, self.learning_rate, step, beta1, beta2, adam_eps)
+                for b, g, state in zip(self._biases, grad_b, adam_b):
+                    state.update(b, g, self.learning_rate, step, beta1, beta2, adam_eps)
+            self.history.losses.append(epoch_loss / n)
+        self._fold_cache = None
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted targets for a feature batch."""
+        if not self.is_fitted:
+            raise NotFittedError("MLPRegressor.predict called before fit")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        return self._forward_inference(X)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Serialize fitted parameters to an ``.npz`` file."""
+        if not self.is_fitted:
+            raise NotFittedError("cannot save an unfitted MLPRegressor")
+        arrays: dict[str, np.ndarray] = {
+            "feature_mean": self._feature_mean,
+            "feature_std": self._feature_std,
+            "hidden_layers": np.array(self.hidden_layers, dtype=np.int64),
+        }
+        for i, (W, b) in enumerate(zip(self._weights, self._biases)):
+            arrays[f"W{i}"] = W
+            arrays[f"b{i}"] = b
+        np.savez(path, **arrays)
+
+    @classmethod
+    def load(cls, path: str) -> "MLPRegressor":
+        """Restore a network saved with :meth:`save`."""
+        data = np.load(path)
+        model = cls(hidden_layers=tuple(int(h) for h in data["hidden_layers"]))
+        model._feature_mean = data["feature_mean"]
+        model._feature_std = data["feature_std"]
+        n_layers = len(model.hidden_layers) + 1
+        model._weights = [data[f"W{i}"] for i in range(n_layers)]
+        model._biases = [data[f"b{i}"] for i in range(n_layers)]
+        model._fold_cache = None
+        return model

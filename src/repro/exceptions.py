@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A user-supplied parameter is out of its valid domain."""
+
+
+class DataValidationError(ReproError, ValueError):
+    """Input data does not satisfy a documented precondition.
+
+    Typical causes: non-finite values, wrong dimensionality, or vectors
+    that are not unit-normalized where angular distance requires it.
+    """
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model or index was used before ``fit``/``build`` was called."""
+
+
+class EstimatorError(ReproError, RuntimeError):
+    """A cardinality estimator failed to train or predict."""
+
+
+class IndexError_(ReproError, RuntimeError):
+    """A spatial index reached an inconsistent internal state.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """

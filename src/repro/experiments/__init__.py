@@ -1,0 +1,39 @@
+"""Experiment harness reproducing the paper's evaluation section.
+
+Every table and figure maps to one module here (and one benchmark in
+``benchmarks/``):
+
+* Table 2  -> :mod:`repro.experiments.param_select`
+* Table 3 / Table 5 -> :mod:`repro.experiments.quality`
+* Figure 1 / Figure 4 / Table 4 -> :mod:`repro.experiments.efficiency`
+* Figure 2 / Figure 3 -> :mod:`repro.experiments.tradeoff`
+* Table 6  -> :mod:`repro.experiments.missed`
+* ablations (ours) -> :mod:`repro.experiments.ablation`
+
+Shared infrastructure: :mod:`repro.experiments.methods` (method
+registry), :mod:`repro.experiments.runner` (timed runs + scoring),
+:mod:`repro.experiments.reporting` (paper-shaped ASCII tables + JSON).
+"""
+
+from repro.experiments.methods import (
+    APPROXIMATE_METHODS,
+    MethodContext,
+    build_method,
+    method_names,
+)
+from repro.experiments.runner import RunRecord, ground_truth, run_method, run_suite
+from repro.experiments.reporting import format_table, records_to_rows, save_json
+
+__all__ = [
+    "APPROXIMATE_METHODS",
+    "MethodContext",
+    "RunRecord",
+    "build_method",
+    "format_table",
+    "ground_truth",
+    "method_names",
+    "records_to_rows",
+    "run_method",
+    "run_suite",
+    "save_json",
+]

@@ -1,0 +1,104 @@
+"""Figures 1 and 4 plus Table 4: clustering-time comparisons.
+
+Figure 1 reports every method's clustering time (including DBSCAN, the
+ground truth) on the three largest datasets at the three settings;
+Figure 4 repeats it across MS scales; Table 4 contrasts rho-approximate
+DBSCAN with plain DBSCAN (the "slower than naive DBSCAN in high
+dimensions" result).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.clustering import DBSCAN, RhoApproxDBSCAN
+from repro.estimators.base import CardinalityEstimator
+from repro.experiments.methods import APPROXIMATE_METHODS, MethodContext
+from repro.experiments.runner import RunRecord, ground_truth, run_method, run_suite
+
+__all__ = ["timing_comparison", "rho_vs_dbscan", "speedup_summary"]
+
+
+def timing_comparison(
+    datasets: dict[str, np.ndarray],
+    estimators: dict[str, CardinalityEstimator],
+    alphas: dict[str, float],
+    eps: float,
+    tau: int,
+    methods: Sequence[str] = ("DBSCAN", *APPROXIMATE_METHODS),
+    delta: float = 0.2,
+    seed: int = 0,
+) -> list[RunRecord]:
+    """One Figure 1 panel / Figure 4: all methods timed per dataset."""
+    records: list[RunRecord] = []
+    for name, X in datasets.items():
+        ctx = MethodContext(
+            eps=eps,
+            tau=tau,
+            alpha=alphas.get(name, 1.0),
+            estimator=estimators.get(name),
+            delta=delta,
+            seed=seed,
+        )
+        records.extend(run_suite(X, tuple(methods), ctx, dataset_name=name))
+    return records
+
+
+def rho_vs_dbscan(
+    datasets: dict[str, np.ndarray],
+    settings: Sequence[tuple[float, int]],
+    rho: float = 1.0,
+) -> list[dict[str, object]]:
+    """Table 4: rho-approximate DBSCAN time vs DBSCAN time per cell.
+
+    Returns one row per (eps, tau) with the paper's "t1/t2" cell format
+    per dataset (t1 = rho-approximate, t2 = DBSCAN).
+    """
+    rows: list[dict[str, object]] = []
+    for eps, tau in settings:
+        row: dict[str, object] = {"(eps,tau)": f"({eps}, {tau})"}
+        for name, X in datasets.items():
+            _, t_rho = run_method(RhoApproxDBSCAN(eps=eps, tau=tau, rho=rho), X)
+            _, t_dbscan = run_method(DBSCAN(eps=eps, tau=tau), X)
+            row[name] = f"{t_rho:.3f}s/{t_dbscan:.3f}s"
+            row[f"{name}_ratio"] = round(t_rho / max(t_dbscan, 1e-9), 2)
+        rows.append(row)
+    return rows
+
+
+def speedup_summary(records: list[RunRecord]) -> dict[str, float]:
+    """Headline speedups from a timing run (Section 3.3's claims).
+
+    Returns LAF-DBSCAN's speedup over DBSCAN, DBSCAN++, KNN-BLOCK and
+    BLOCK-DBSCAN, and LAF-DBSCAN++'s speedup over DBSCAN++, maximized
+    over datasets present in the records.
+    """
+    by_key: dict[tuple[str, str], float] = {
+        (r.method, r.dataset): r.elapsed_seconds for r in records
+    }
+    datasets = {r.dataset for r in records}
+    out: dict[str, float] = {}
+
+    def max_ratio(fast: str, slow: str) -> float | None:
+        ratios = []
+        for ds in datasets:
+            t_fast = by_key.get((fast, ds))
+            t_slow = by_key.get((slow, ds))
+            if t_fast and t_slow:
+                ratios.append(t_slow / t_fast)
+        return max(ratios) if ratios else None
+
+    pairs = {
+        "laf_dbscan_over_dbscan": ("LAF-DBSCAN", "DBSCAN"),
+        "laf_dbscan_over_dbscanpp": ("LAF-DBSCAN", "DBSCAN++"),
+        "laf_dbscan_over_knn_block": ("LAF-DBSCAN", "KNN-BLOCK"),
+        "laf_dbscan_over_block_dbscan": ("LAF-DBSCAN", "BLOCK-DBSCAN"),
+        "laf_dbscanpp_over_dbscanpp": ("LAF-DBSCAN++", "DBSCAN++"),
+    }
+    for key, (fast, slow) in pairs.items():
+        ratio = max_ratio(fast, slow)
+        if ratio is not None:
+            out[key] = round(ratio, 2)
+    return out

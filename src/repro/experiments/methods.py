@@ -1,0 +1,158 @@
+"""Method registry: build any of the paper's seven methods by name.
+
+Centralizes the hyperparameter defaults of Section 3.1 ("Parameters"):
+
+* DBSCAN++ sample fraction ``p = delta + R_c`` with ``delta`` in
+  [0.1, 0.3] and ``R_c`` the estimator's predicted core ratio;
+* LAF-DBSCAN's ``alpha`` from Table 1 (dataset-dependent);
+* LAF-DBSCAN++'s ``alpha`` fixed at 1.0 and ``p`` identical to DBSCAN++;
+* KNN-BLOCK: branching 10, leaves-checked ratio 0.6;
+* BLOCK-DBSCAN: basis 2, RNT 10;
+* rho-approximate: rho = 1.0.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.clustering import (
+    BlockDBSCAN,
+    Clusterer,
+    DBSCAN,
+    DBSCANPlusPlus,
+    KNNBlockDBSCAN,
+    RhoApproxDBSCAN,
+)
+from repro.core import LAFDBSCAN, LAFDBSCANPlusPlus, predicted_core_ratio
+from repro.estimators.base import CardinalityEstimator
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "MethodContext",
+    "build_method",
+    "method_names",
+    "APPROXIMATE_METHODS",
+    "ALL_METHODS",
+]
+
+#: The approximate methods of Tables 3/5 (DBSCAN itself is ground truth).
+APPROXIMATE_METHODS: tuple[str, ...] = (
+    "KNN-BLOCK",
+    "BLOCK-DBSCAN",
+    "DBSCAN++",
+    "LAF-DBSCAN",
+    "LAF-DBSCAN++",
+)
+
+ALL_METHODS: tuple[str, ...] = ("DBSCAN", *APPROXIMATE_METHODS, "RHO-APPROX")
+
+
+@dataclasses.dataclass
+class MethodContext:
+    """Everything needed to instantiate any method on one dataset.
+
+    Attributes
+    ----------
+    eps, tau:
+        The experiment's density parameters.
+    alpha:
+        LAF-DBSCAN error factor (Table 1 value for the dataset).
+    estimator:
+        Fitted cardinality estimator shared by the LAF methods and the
+        ``p = delta + R_c`` rule. May be None for non-LAF methods.
+    delta:
+        Offset of the sample-fraction rule (paper: 0.1-0.3).
+    p_override:
+        Fix the DBSCAN++ sample fraction explicitly instead of deriving
+        it (used by the trade-off sweeps).
+    """
+
+    eps: float
+    tau: int
+    alpha: float = 1.0
+    estimator: CardinalityEstimator | None = None
+    delta: float = 0.2
+    p_override: float | None = None
+    branching: int = 10
+    checks_ratio: float = 0.6
+    cover_base: float = 2.0
+    rnt: int = 10
+    rho: float = 1.0
+    seed: int = 0
+    _p_cache: float | None = dataclasses.field(default=None, repr=False)
+
+    def sample_fraction(self, X: np.ndarray) -> float:
+        """DBSCAN++ sample fraction: ``p_override`` or ``delta + R_c``.
+
+        The derived value is cached so DBSCAN++ and LAF-DBSCAN++ use the
+        identical ``p``, as the paper prescribes.
+        """
+        if self.p_override is not None:
+            return float(np.clip(self.p_override, 0.01, 1.0))
+        if self._p_cache is None:
+            if self.estimator is None:
+                raise InvalidParameterError(
+                    "deriving p = delta + R_c requires an estimator; "
+                    "set p_override otherwise"
+                )
+            r_c = predicted_core_ratio(self.estimator, X, self.eps, self.tau, self.alpha)
+            self._p_cache = float(np.clip(self.delta + r_c, 0.01, 1.0))
+        return self._p_cache
+
+    def _require_estimator(self, name: str) -> CardinalityEstimator:
+        if self.estimator is None:
+            raise InvalidParameterError(f"{name} requires a fitted estimator")
+        return self.estimator
+
+
+def method_names() -> tuple[str, ...]:
+    """All buildable method names."""
+    return ALL_METHODS
+
+
+def build_method(name: str, ctx: MethodContext, X: np.ndarray) -> Clusterer:
+    """Instantiate the named method with the context's parameters.
+
+    ``X`` is needed only to derive the DBSCAN++ sample fraction; the
+    returned clusterer is not yet fitted.
+    """
+    if name == "DBSCAN":
+        return DBSCAN(eps=ctx.eps, tau=ctx.tau)
+    if name == "DBSCAN++":
+        return DBSCANPlusPlus(
+            eps=ctx.eps, tau=ctx.tau, p=ctx.sample_fraction(X), seed=ctx.seed
+        )
+    if name == "LAF-DBSCAN":
+        return LAFDBSCAN(
+            eps=ctx.eps,
+            tau=ctx.tau,
+            estimator=ctx._require_estimator(name),
+            alpha=ctx.alpha,
+            seed=ctx.seed,
+        )
+    if name == "LAF-DBSCAN++":
+        return LAFDBSCANPlusPlus(
+            eps=ctx.eps,
+            tau=ctx.tau,
+            estimator=ctx._require_estimator(name),
+            p=ctx.sample_fraction(X),
+            alpha=1.0,  # fixed in the paper
+            seed=ctx.seed,
+        )
+    if name == "KNN-BLOCK":
+        return KNNBlockDBSCAN(
+            eps=ctx.eps,
+            tau=ctx.tau,
+            branching=ctx.branching,
+            checks_ratio=ctx.checks_ratio,
+            seed=ctx.seed,
+        )
+    if name == "BLOCK-DBSCAN":
+        return BlockDBSCAN(eps=ctx.eps, tau=ctx.tau, base=ctx.cover_base, rnt=ctx.rnt)
+    if name == "RHO-APPROX":
+        return RhoApproxDBSCAN(eps=ctx.eps, tau=ctx.tau, rho=ctx.rho)
+    raise InvalidParameterError(
+        f"unknown method {name!r}; available: {', '.join(ALL_METHODS)}"
+    )

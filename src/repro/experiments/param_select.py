@@ -1,0 +1,90 @@
+"""Table 2: representative (eps, tau) selection by grid search.
+
+The paper selects (eps, tau) pairs whose DBSCAN output has a noise ratio
+below 0.6 and more than 20 clusters "in most datasets", reporting the
+(noise ratio, number of clusters) grid for the MS datasets. This module
+reproduces that grid and the selection rule. (At reduced dataset scale
+the cluster-count threshold scales down proportionally.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.clustering.dbscan import DBSCAN
+
+__all__ = ["GridCell", "parameter_grid", "select_representative", "PAPER_EPS_TAU"]
+
+#: The three settings the paper reports throughout: (eps, tau).
+PAPER_EPS_TAU: tuple[tuple[float, int], ...] = ((0.5, 3), (0.55, 5), (0.6, 5))
+
+
+@dataclasses.dataclass(frozen=True)
+class GridCell:
+    """One Table 2 cell: DBSCAN statistics at a given (eps, tau)."""
+
+    dataset: str
+    eps: float
+    tau: int
+    noise_ratio: float
+    n_clusters: int
+
+    def satisfies(self, max_noise: float, min_clusters: int) -> bool:
+        """The paper's "proper" criterion for this dataset."""
+        return self.noise_ratio < max_noise and self.n_clusters > min_clusters
+
+    def as_pair(self) -> str:
+        """The paper's cell format: ``(noise ratio, number of clusters)``."""
+        return f"({self.noise_ratio:.2f}, {self.n_clusters})"
+
+
+def parameter_grid(
+    datasets: dict[str, np.ndarray],
+    eps_values: Sequence[float] = (0.5, 0.55, 0.6, 0.7),
+    tau_values: Sequence[int] = (3, 5),
+) -> list[GridCell]:
+    """Run DBSCAN over the (eps, tau) grid on every dataset.
+
+    Returns one :class:`GridCell` per (dataset, eps, tau) combination,
+    in grid order.
+    """
+    cells: list[GridCell] = []
+    for eps in eps_values:
+        for tau in tau_values:
+            for name, X in datasets.items():
+                result = DBSCAN(eps=eps, tau=tau).fit(X)
+                cells.append(
+                    GridCell(
+                        dataset=name,
+                        eps=float(eps),
+                        tau=int(tau),
+                        noise_ratio=result.noise_ratio,
+                        n_clusters=result.n_clusters,
+                    )
+                )
+    return cells
+
+
+def select_representative(
+    cells: list[GridCell],
+    max_noise: float = 0.6,
+    min_clusters: int = 20,
+    min_datasets_satisfying: int = 2,
+) -> list[tuple[float, int]]:
+    """The paper's rule: keep (eps, tau) pairs proper on most datasets.
+
+    A pair qualifies when at least ``min_datasets_satisfying`` datasets
+    meet both the noise-ratio and cluster-count conditions.
+    """
+    by_pair: dict[tuple[float, int], list[GridCell]] = {}
+    for cell in cells:
+        by_pair.setdefault((cell.eps, cell.tau), []).append(cell)
+    selected = []
+    for pair, pair_cells in by_pair.items():
+        good = sum(c.satisfies(max_noise, min_clusters) for c in pair_cells)
+        if good >= min_datasets_satisfying:
+            selected.append(pair)
+    return sorted(selected)

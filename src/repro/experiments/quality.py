@@ -1,0 +1,78 @@
+"""Tables 3 and 5: clustering quality of the approximate methods.
+
+Table 3 scores all approximate methods on the three largest datasets at
+the three representative (eps, tau) settings; Table 5 repeats the
+comparison across the MS dataset scales at (0.55, 5). Both reduce to
+:func:`quality_comparison`, which runs the suite and returns the records
+pivotable into the paper's (method x dataset) ARI/AMI grids.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.estimators.base import CardinalityEstimator
+from repro.experiments.methods import APPROXIMATE_METHODS, MethodContext
+from repro.experiments.runner import RunRecord, ground_truth, run_suite
+
+__all__ = ["quality_comparison", "table3_settings", "TABLE3_DATASETS", "TABLE5_DATASETS"]
+
+#: The datasets of Table 3 / Figure 1 (the three largest).
+TABLE3_DATASETS: tuple[str, ...] = ("NYT-150k", "Glove-150k", "MS-150k")
+#: The datasets of Table 5 / Figure 4 (the scalability trio).
+TABLE5_DATASETS: tuple[str, ...] = ("MS-50k", "MS-100k", "MS-150k")
+
+
+def table3_settings() -> tuple[tuple[float, int], ...]:
+    """The paper's three representative (eps, tau) settings."""
+    return ((0.5, 3), (0.55, 5), (0.6, 5))
+
+
+def quality_comparison(
+    datasets: dict[str, np.ndarray],
+    estimators: dict[str, CardinalityEstimator],
+    alphas: dict[str, float],
+    eps: float,
+    tau: int,
+    methods: Sequence[str] = APPROXIMATE_METHODS,
+    delta: float = 0.2,
+    seed: int = 0,
+) -> list[RunRecord]:
+    """Run the approximate-method suite on each dataset at one setting.
+
+    Parameters
+    ----------
+    datasets:
+        Name -> clustered matrix (the paper's test splits).
+    estimators:
+        Name -> fitted estimator for that dataset's distribution.
+    alphas:
+        Name -> LAF-DBSCAN error factor (paper Table 1).
+    eps, tau:
+        The density setting of this table section.
+    methods:
+        Which methods to include (default: the five approximate ones).
+    """
+    records: list[RunRecord] = []
+    for name, X in datasets.items():
+        gt = ground_truth(X, eps, tau)
+        ctx = MethodContext(
+            eps=eps,
+            tau=tau,
+            alpha=alphas.get(name, 1.0),
+            estimator=estimators.get(name),
+            delta=delta,
+            seed=seed,
+        )
+        records.extend(
+            run_suite(
+                X,
+                tuple(methods),
+                ctx,
+                dataset_name=name,
+                gt_labels=gt.labels,
+            )
+        )
+    return records

@@ -1,0 +1,65 @@
+"""Abstract interface shared by all neighbor indexes."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import NotFittedError
+
+__all__ = ["NeighborIndex"]
+
+
+class NeighborIndex(abc.ABC):
+    """A point set supporting distance-threshold and KNN queries.
+
+    Implementations store the dataset at ``build`` time and answer queries
+    against it. Distances in the public API are always *cosine* distances
+    on unit vectors — implementations that work in another metric
+    internally (cover tree, k-means tree, grid) do their own conversion.
+    """
+
+    _points: np.ndarray | None = None
+
+    @property
+    def n_points(self) -> int:
+        """Number of indexed points."""
+        return 0 if self._points is None else int(self._points.shape[0])
+
+    @property
+    def points(self) -> np.ndarray:
+        """The indexed point matrix, shape ``(n_points, dim)``."""
+        if self._points is None:
+            raise NotFittedError(f"{type(self).__name__} has not been built yet")
+        return self._points
+
+    @abc.abstractmethod
+    def build(self, X: np.ndarray) -> "NeighborIndex":
+        """Index the rows of ``X`` (unit-normalized) and return ``self``."""
+
+    @abc.abstractmethod
+    def range_query(self, q: np.ndarray, eps: float) -> np.ndarray:
+        """Indices of points with cosine distance to ``q`` strictly below ``eps``.
+
+        Matches the paper's neighborhood definition
+        ``N = {Q | d(P, Q) < eps}``; a query equal to an indexed point
+        therefore returns that point itself.
+        """
+
+    def range_count(self, q: np.ndarray, eps: float) -> int:
+        """Number of points within cosine distance ``eps`` of ``q``."""
+        return int(self.range_query(q, eps).size)
+
+    @abc.abstractmethod
+    def knn_query(self, q: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """The ``k`` nearest indexed points to ``q``.
+
+        Returns ``(indices, cosine_distances)`` sorted by ascending
+        distance. Approximate indexes may miss true neighbors; exactness
+        is documented per implementation.
+        """
+
+    def _require_built(self) -> None:
+        if self._points is None:
+            raise NotFittedError(f"{type(self).__name__} has not been built yet")

@@ -1,0 +1,127 @@
+"""Exact brute-force index over vectors, metric-pluggable.
+
+One matrix-vector product per query. This is the "range query" primitive
+of Algorithm 1 and the reference answer that every approximate index is
+tested against. Also provides batched forms used by DBSCAN++ (core-point
+detection over a sample) and the estimator training-set builder.
+
+The default metric is cosine distance on unit vectors (the paper's
+setting); Euclidean distance is available through the ``metric``
+parameter (the paper's future-work extension, see
+:mod:`repro.distances.metric`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distances.matrix import euclidean_distance_matrix
+from repro.distances.metric import COSINE, Metric, get_metric
+from repro.exceptions import InvalidParameterError
+from repro.index.base import NeighborIndex
+
+__all__ = ["BruteForceIndex"]
+
+
+class BruteForceIndex(NeighborIndex):
+    """Exact distance index backed by dense matrix products.
+
+    Parameters
+    ----------
+    block_size:
+        Row-block size for the batched query paths; bounds peak memory at
+        ``block_size * n_points`` floats.
+    metric:
+        "cosine" (default, requires unit rows) or "euclidean".
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.distances import normalize_rows
+    >>> X = normalize_rows(np.random.default_rng(0).normal(size=(100, 16)))
+    >>> index = BruteForceIndex().build(X)
+    >>> neighbors = index.range_query(X[0], eps=0.5)
+    >>> bool(np.isin(0, neighbors))  # a point is its own neighbor (d=0 < eps)
+    True
+    """
+
+    def __init__(self, block_size: int = 1024, metric: str | Metric = COSINE) -> None:
+        if block_size <= 0:
+            raise InvalidParameterError(f"block_size must be positive; got {block_size}")
+        self.block_size = block_size
+        self.metric = get_metric(metric)
+        self._points: np.ndarray | None = None
+
+    def build(self, X: np.ndarray) -> "BruteForceIndex":
+        self._points = self.metric.validate(X)
+        return self
+
+    def _block(self, Q: np.ndarray) -> np.ndarray:
+        """Distance block between query rows and all indexed points."""
+        if self.metric.name == "cosine":
+            return 1.0 - Q @ self._points.T
+        return euclidean_distance_matrix(Q, self._points)
+
+    def range_query(self, q: np.ndarray, eps: float) -> np.ndarray:
+        self._require_built()
+        dists = self.metric.distance_to_many(np.asarray(q, dtype=np.float64), self._points)
+        return np.flatnonzero(dists < eps)
+
+    def range_count(self, q: np.ndarray, eps: float) -> int:
+        self._require_built()
+        dists = self.metric.distance_to_many(np.asarray(q, dtype=np.float64), self._points)
+        return int(np.count_nonzero(dists < eps))
+
+    def knn_query(self, q: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        self._require_built()
+        if k <= 0:
+            raise InvalidParameterError(f"k must be positive; got {k}")
+        k = min(k, self.n_points)
+        dists = self.metric.distance_to_many(np.asarray(q, dtype=np.float64), self._points)
+        nearest = np.argpartition(dists, k - 1)[:k]
+        order = np.argsort(dists[nearest], kind="stable")
+        idx = nearest[order]
+        return idx, dists[idx]
+
+    # ------------------------------------------------------------------
+    # Batched forms (exact, blockwise)
+    # ------------------------------------------------------------------
+
+    def _iter_blocks(self, Q: np.ndarray):
+        Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
+        for start in range(0, Q.shape[0], self.block_size):
+            stop = min(start + self.block_size, Q.shape[0])
+            yield start, stop, self._block(Q[start:stop])
+
+    def range_count_many(self, Q: np.ndarray, eps: float) -> np.ndarray:
+        """Exact neighbor counts for every row of ``Q`` at threshold ``eps``."""
+        self._require_built()
+        Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
+        counts = np.empty(Q.shape[0], dtype=np.int64)
+        for start, stop, block in self._iter_blocks(Q):
+            counts[start:stop] = np.count_nonzero(block < eps, axis=1)
+        return counts
+
+    def range_query_many(self, Q: np.ndarray, eps: float) -> list[np.ndarray]:
+        """Exact neighbor index arrays for every row of ``Q``."""
+        self._require_built()
+        results: list[np.ndarray] = []
+        for _, _, block in self._iter_blocks(Q):
+            results.extend(np.flatnonzero(row < eps) for row in block)
+        return results
+
+    def range_count_multi_eps(self, Q: np.ndarray, eps_values: np.ndarray) -> np.ndarray:
+        """Counts for every (query row, eps value) pair.
+
+        Returns shape ``(len(Q), len(eps_values))``. Used by the estimator
+        training-set builder, which needs counts at many radii per query.
+        """
+        self._require_built()
+        eps_values = np.asarray(eps_values, dtype=np.float64)
+        Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
+        counts = np.empty((Q.shape[0], eps_values.size), dtype=np.int64)
+        for start, stop, block in self._iter_blocks(Q):
+            counts[start:stop] = np.count_nonzero(
+                block[:, :, None] < eps_values[None, None, :], axis=1
+            )
+        return counts

@@ -1,0 +1,243 @@
+"""Simplified cover tree over unit vectors.
+
+This is the range-query substrate of BLOCK-DBSCAN, whose speed/quality
+knob in the paper's trade-off study is the cover-tree *basis* ``b``
+(default 2, varied 1.1-5).
+
+The tree follows the simplified cover-tree formulation: a node at level
+``l`` covers each of its children within ``covdist(l) = b**l``, children
+sit exactly one level below their parent, and the whole subtree of a
+level-``l`` node lies within ``subtree_radius(l) = b**l * b / (b - 1)``.
+Separation between siblings is not enforced (it affects balance, not
+correctness), which keeps insertion simple and exact.
+
+Cosine distance violates the triangle inequality, so the tree operates in
+the Euclidean metric on the unit sphere and converts thresholds with the
+paper's Equation 1 (``d_euc = sqrt(2 * d_cos)``). Distances between unit
+vectors never exceed 2, so the root level is fixed at build time to cover
+the sphere and never needs raising.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.distances import (
+    check_unit_norm,
+    euclidean_distance_to_many,
+    euclidean_from_cosine,
+)
+from repro.exceptions import InvalidParameterError
+from repro.index.base import NeighborIndex
+
+__all__ = ["CoverTree"]
+
+#: Maximum Euclidean distance between two unit vectors.
+_SPHERE_DIAMETER = 2.0
+
+
+class CoverTree(NeighborIndex):
+    """Exact metric-tree index with configurable base.
+
+    Parameters
+    ----------
+    base:
+        Expansion constant ``b > 1``. Smaller bases give finer levels
+        (deeper trees, tighter pruning but more nodes); this is
+        BLOCK-DBSCAN's trade-off parameter in the paper.
+
+    Notes
+    -----
+    ``range_query`` is exact: tests verify it returns the same index set
+    as :class:`~repro.index.brute_force.BruteForceIndex` on random data.
+    """
+
+    def __init__(self, base: float = 2.0) -> None:
+        if not base > 1.0:
+            raise InvalidParameterError(f"cover tree base must exceed 1; got {base}")
+        self.base = float(base)
+        self._points: np.ndarray | None = None
+        # Parallel node arrays: the node id is the position in these lists.
+        self._node_point: list[int] = []
+        self._node_level: list[int] = []
+        self._node_children: list[list[int]] = []
+        self._root: int | None = None
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+
+    def _covdist(self, level: int) -> float:
+        return self.base**level
+
+    def _subtree_radius(self, level: int) -> float:
+        return self.base**level * self.base / (self.base - 1.0)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def build(self, X: np.ndarray) -> "CoverTree":
+        self._points = check_unit_norm(X)
+        self._node_point.clear()
+        self._node_level.clear()
+        self._node_children.clear()
+        # Root level chosen so covdist(root) >= sphere diameter: every
+        # later point is guaranteed to fit under the root.
+        root_level = max(1, math.ceil(math.log(_SPHERE_DIAMETER, self.base))) + 1
+        self._root = self._new_node(0, root_level)
+        for idx in range(1, self._points.shape[0]):
+            self._insert(idx)
+        self._freeze()
+        return self
+
+    def _new_node(self, point_idx: int, level: int) -> int:
+        self._node_point.append(point_idx)
+        self._node_level.append(level)
+        self._node_children.append([])
+        return len(self._node_point) - 1
+
+    def _insert(self, point_idx: int) -> None:
+        """Greedy simplified-cover-tree insertion (iterative)."""
+        assert self._points is not None and self._root is not None
+        p = self._points[point_idx]
+        node = self._root
+        while True:
+            children = self._node_children[node]
+            if children:
+                child_pts = self._points[[self._node_point[c] for c in children]]
+                dists = euclidean_distance_to_many(p, child_pts)
+                # Descend into the nearest child that still covers p.
+                order = int(np.argmin(dists))
+                best_child = children[order]
+                if dists[order] <= self._covdist(self._node_level[best_child]):
+                    node = best_child
+                    continue
+            # No child covers p: attach it here, one level below.
+            child = self._new_node(point_idx, self._node_level[node] - 1)
+            self._node_children[node].append(child)
+            return
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _freeze(self) -> None:
+        """Build the vectorized query arrays after all insertions."""
+        self._np_point = np.asarray(self._node_point, dtype=np.int64)
+        levels = np.asarray(self._node_level, dtype=np.int64)
+        # Subtree radius per node, precomputed once: b**level * b/(b-1).
+        self._np_subtree_radius = (
+            self.base ** levels.astype(np.float64) * self.base / (self.base - 1.0)
+        )
+
+    def range_query(self, q: np.ndarray, eps: float) -> np.ndarray:
+        """Exact range query; ``eps`` is a cosine-distance threshold."""
+        self._require_built()
+        r = euclidean_from_cosine(min(max(eps, 0.0), 2.0))
+        q = np.asarray(q, dtype=np.float64)
+        result: list[np.ndarray] = []
+        children = self._node_children
+        frontier = np.array([self._root], dtype=np.int64)
+        frontier_dists = euclidean_distance_to_many(
+            q, self._points[self._np_point[frontier]]
+        )
+        while frontier.size:
+            # Strict < matches the paper's N = {Q | d(P,Q) < eps}.
+            hits = frontier_dists < r
+            if hits.any():
+                result.append(self._np_point[frontier[hits]])
+            next_ids: list[int] = []
+            for node in frontier.tolist():
+                next_ids.extend(children[node])
+            if not next_ids:
+                break
+            next_frontier = np.asarray(next_ids, dtype=np.int64)
+            dists = euclidean_distance_to_many(q, self._points[self._np_point[next_frontier]])
+            keep = dists <= r + self._np_subtree_radius[next_frontier]
+            frontier = next_frontier[keep]
+            frontier_dists = dists[keep]
+        if not result:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(result))
+
+    def knn_query(self, q: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Exact KNN via best-first branch and bound.
+
+        Returns cosine distances (converted back from the internal
+        Euclidean metric).
+        """
+        self._require_built()
+        if k <= 0:
+            raise InvalidParameterError(f"k must be positive; got {k}")
+        import heapq
+
+        q = np.asarray(q, dtype=np.float64)
+        k = min(k, self.n_points)
+        root_dist = float(
+            euclidean_distance_to_many(q, self._points[[self._node_point[self._root]]])[0]
+        )
+        # Min-heap of (lower bound on any descendant distance, node, exact dist).
+        candidates = [(max(0.0, root_dist - self._np_subtree_radius[self._root]), self._root, root_dist)]
+        best: list[tuple[float, int]] = []  # max-heap via negated distances
+
+        def worst() -> float:
+            return -best[0][0] if len(best) == k else math.inf
+
+        while candidates:
+            bound, node, dist = heapq.heappop(candidates)
+            if bound > worst():
+                break
+            entry = (-dist, self._node_point[node])
+            if len(best) < k:
+                heapq.heappush(best, entry)
+            elif dist < -best[0][0]:
+                heapq.heapreplace(best, entry)
+            children = self._node_children[node]
+            if not children:
+                continue
+            child_ids = np.asarray(children, dtype=np.int64)
+            pts = self._points[self._np_point[child_ids]]
+            dists = euclidean_distance_to_many(q, pts)
+            bounds = np.maximum(0.0, dists - self._np_subtree_radius[child_ids])
+            limit = worst()
+            for child, d, child_bound in zip(children, dists, bounds):
+                if child_bound <= limit:
+                    heapq.heappush(candidates, (float(child_bound), child, float(d)))
+        ordered = sorted((-negd, idx) for negd, idx in best)
+        idx = np.array([i for _, i in ordered], dtype=np.int64)
+        d_euc = np.array([d for d, _ in ordered])
+        return idx, (d_euc**2) / 2.0
+
+    # ------------------------------------------------------------------
+    # Introspection (used by tests)
+    # ------------------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Total number of tree nodes (one per indexed point)."""
+        return len(self._node_point)
+
+    def validate_invariants(self) -> None:
+        """Check the covering invariant on every edge; raise on violation.
+
+        Exposed for the test suite; O(n) distance evaluations.
+        """
+        self._require_built()
+        for parent, children in enumerate(self._node_children):
+            if not children:
+                continue
+            p = self._points[self._node_point[parent]]
+            pts = self._points[[self._node_point[c] for c in children]]
+            dists = euclidean_distance_to_many(p, pts)
+            cov = self._covdist(self._node_level[parent])
+            if np.any(dists > cov + 1e-9):
+                raise AssertionError(
+                    f"covering invariant violated at node {parent}: "
+                    f"child distance {dists.max():.6f} > covdist {cov:.6f}"
+                )
+            for child in children:
+                if self._node_level[child] != self._node_level[parent] - 1:
+                    raise AssertionError("child level must be parent level - 1")

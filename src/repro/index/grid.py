@@ -1,0 +1,183 @@
+"""Grid index with cells of side ``eps / sqrt(d)`` for rho-approximate DBSCAN.
+
+Gan & Tao's rho-approximate DBSCAN partitions space into cells whose
+diagonal equals ``eps``, so all points sharing a cell are mutually within
+``eps``. In low dimensions neighbor cells are enumerated directly; in
+high dimensions (the regime this paper studies) the number of adjacent
+cells ``3^d`` is astronomically large while almost every point occupies
+its own cell, so this implementation finds candidate cells by scanning
+the non-empty cell centers with vectorized distance filters — the honest
+high-dimensional adaptation, and precisely why the paper measures
+rho-approximate DBSCAN to be *slower* than plain DBSCAN at d >= 200
+(Table 4).
+
+Approximate counting contract (the "rho guarantee"): for every query,
+
+    |N_eps(q)|  <=  approx_count(q)  <=  |N_eps(1+rho)(q)|
+
+implemented with three cell classes per query: cells entirely inside the
+``eps(1+rho)`` ball are counted wholesale, cells entirely outside the
+``eps`` ball are skipped, and straddling cells fall back to exact
+point-level checks against ``eps``.
+
+All geometry is in the Euclidean metric on the unit sphere; thresholds
+convert from cosine via Equation 1.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.distances import (
+    check_unit_norm,
+    euclidean_distance_to_many,
+    euclidean_from_cosine,
+)
+from repro.exceptions import InvalidParameterError, NotFittedError
+
+__all__ = ["GridIndex"]
+
+
+class GridIndex:
+    """Hash grid over unit vectors, specialized for rho-approximate DBSCAN.
+
+    Parameters
+    ----------
+    eps:
+        Cosine-distance radius the grid is sized for (cell diagonal equals
+        the Euclidean equivalent of ``eps``).
+    rho:
+        Approximation factor (> 0) of rho-approximate DBSCAN.
+    """
+
+    def __init__(self, eps: float, rho: float = 1.0) -> None:
+        if not 0.0 < eps <= 2.0:
+            raise InvalidParameterError(f"eps must lie in (0, 2]; got {eps}")
+        if rho <= 0.0:
+            raise InvalidParameterError(f"rho must be positive; got {rho}")
+        self.eps = float(eps)
+        self.rho = float(rho)
+        self._points: np.ndarray | None = None
+        self._r_euc = euclidean_from_cosine(eps)
+        self._side: float = 0.0
+        self._cell_of_point: np.ndarray | None = None  # point -> cell id
+        self._cell_points: list[np.ndarray] = []  # cell id -> point indices
+        self._cell_centers: np.ndarray | None = None  # geometric center of members
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def build(self, X: np.ndarray) -> "GridIndex":
+        X = check_unit_norm(X)
+        self._points = X
+        dim = X.shape[1]
+        self._side = self._r_euc / math.sqrt(dim)
+        keys = np.floor(X / self._side).astype(np.int64)
+        cell_ids: dict[tuple, int] = {}
+        members: list[list[int]] = []
+        cell_of_point = np.empty(X.shape[0], dtype=np.int64)
+        for i, key_row in enumerate(keys):
+            key = tuple(key_row)
+            cell = cell_ids.get(key)
+            if cell is None:
+                cell = len(members)
+                cell_ids[key] = cell
+                members.append([])
+            members[cell].append(i)
+            cell_of_point[i] = cell
+        self._cell_of_point = cell_of_point
+        self._cell_points = [np.array(m, dtype=np.int64) for m in members]
+        # True bounding center/radius of the members, tighter than the
+        # geometric cell center in sparse high-d grids.
+        self._cell_centers = np.stack([X[m].mean(axis=0) for m in self._cell_points])
+        self._cell_radii = np.array(
+            [
+                float(euclidean_distance_to_many(c, X[m]).max())
+                for c, m in zip(self._cell_centers, self._cell_points)
+            ]
+        )
+        return self
+
+    def _require_built(self) -> None:
+        if self._points is None:
+            raise NotFittedError("GridIndex has not been built yet")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def n_cells(self) -> int:
+        """Number of non-empty cells."""
+        self._require_built()
+        return len(self._cell_points)
+
+    @property
+    def cell_points(self) -> list[np.ndarray]:
+        """Point indices per cell (cell id is the list position)."""
+        self._require_built()
+        return self._cell_points
+
+    def cell_of(self, point_idx: int) -> int:
+        """Cell id of an indexed point."""
+        self._require_built()
+        return int(self._cell_of_point[point_idx])
+
+    def cell_sizes(self) -> np.ndarray:
+        """Number of points per cell."""
+        self._require_built()
+        return np.array([m.size for m in self._cell_points], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Approximate counting
+    # ------------------------------------------------------------------
+
+    def approx_range_count(self, q: np.ndarray) -> int:
+        """Approximate |N_eps(q)| obeying the rho sandwich guarantee."""
+        self._require_built()
+        q = np.asarray(q, dtype=np.float64)
+        r = self._r_euc
+        r_outer = r * (1.0 + self.rho)
+        center_dists = euclidean_distance_to_many(q, self._cell_centers)
+        full = center_dists + self._cell_radii <= r_outer
+        empty = center_dists - self._cell_radii >= r
+        straddle = ~(full | empty)
+        count = int(sum(self._cell_points[c].size for c in np.flatnonzero(full)))
+        eps_cos = self.eps
+        for c in np.flatnonzero(straddle):
+            pts = self._points[self._cell_points[c]]
+            count += int(np.count_nonzero(1.0 - pts @ q < eps_cos))
+        return count
+
+    def exact_range_query(self, q: np.ndarray, eps: float | None = None) -> np.ndarray:
+        """Exact range query via cell-level pruning (used for borders)."""
+        self._require_built()
+        q = np.asarray(q, dtype=np.float64)
+        eps_cos = self.eps if eps is None else eps
+        r = euclidean_from_cosine(eps_cos)
+        center_dists = euclidean_distance_to_many(q, self._cell_centers)
+        candidates = np.flatnonzero(center_dists - self._cell_radii < r)
+        hits: list[np.ndarray] = []
+        for c in candidates:
+            member_idx = self._cell_points[c]
+            dists = 1.0 - self._points[member_idx] @ q
+            hits.append(member_idx[dists < eps_cos])
+        if not hits:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(hits))
+
+    def cells_within(self, cell: int, max_dist_euc: float) -> np.ndarray:
+        """Cells whose member balls could contain a point within
+        ``max_dist_euc`` (Euclidean) of some point in ``cell``.
+
+        Uses center distance minus both radii as the lower bound; the
+        caller refines with point-level checks.
+        """
+        self._require_built()
+        center = self._cell_centers[cell]
+        center_dists = euclidean_distance_to_many(center, self._cell_centers)
+        lower_bounds = center_dists - self._cell_radii - self._cell_radii[cell]
+        return np.flatnonzero(lower_bounds <= max_dist_euc)

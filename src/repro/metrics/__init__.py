@@ -1,0 +1,45 @@
+"""Clustering-quality metrics and statistics.
+
+The paper scores every approximate method against the original DBSCAN
+labeling with the adjusted Rand index (Hubert & Arabie 1985) and adjusted
+mutual information (Vinh, Epps & Bailey 2010). Neither sklearn nor any
+other ML library is assumed: both metrics (and their supporting
+contingency/entropy/expected-MI machinery) are implemented here and
+cross-validated in the test suite against hand-computed values.
+
+Noise points (label ``-1``) are treated as one ordinary class, matching
+how DBSCAN outputs are conventionally fed to these scores.
+"""
+
+from repro.metrics.ari import adjusted_rand_index, rand_index
+from repro.metrics.cluster_stats import (
+    MissedClusterStats,
+    cluster_sizes,
+    missed_cluster_stats,
+    n_clusters,
+    noise_ratio,
+)
+from repro.metrics.contingency import contingency_matrix
+from repro.metrics.mutual_info import (
+    adjusted_mutual_info,
+    entropy,
+    expected_mutual_information,
+    mutual_information,
+    normalized_mutual_info,
+)
+
+__all__ = [
+    "MissedClusterStats",
+    "adjusted_mutual_info",
+    "adjusted_rand_index",
+    "cluster_sizes",
+    "contingency_matrix",
+    "entropy",
+    "expected_mutual_information",
+    "missed_cluster_stats",
+    "mutual_information",
+    "n_clusters",
+    "noise_ratio",
+    "normalized_mutual_info",
+    "rand_index",
+]

@@ -1,0 +1,57 @@
+"""Rand index and adjusted Rand index (Hubert & Arabie 1985).
+
+This is the paper's primary quality metric (reported as "ARI" in Tables
+3 and 5). Computed exactly with integer pair counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.contingency import contingency_matrix
+
+__all__ = ["rand_index", "adjusted_rand_index"]
+
+
+def _pairs(counts: np.ndarray) -> np.ndarray:
+    """Number of unordered pairs ``C(c, 2)`` per entry, exact integers."""
+    counts = counts.astype(np.int64)
+    return counts * (counts - 1) // 2
+
+
+def rand_index(labels_true: np.ndarray, labels_pred: np.ndarray) -> float:
+    """Unadjusted Rand index: fraction of point pairs the labelings agree on."""
+    table = contingency_matrix(labels_true, labels_pred)
+    n = int(table.sum())
+    total_pairs = n * (n - 1) // 2
+    if total_pairs == 0:
+        return 1.0
+    same_both = int(_pairs(table).sum())
+    same_true = int(_pairs(table.sum(axis=1)).sum())
+    same_pred = int(_pairs(table.sum(axis=0)).sum())
+    agreements = total_pairs + 2 * same_both - same_true - same_pred
+    return agreements / total_pairs
+
+
+def adjusted_rand_index(labels_true: np.ndarray, labels_pred: np.ndarray) -> float:
+    """Adjusted Rand index: chance-corrected pair-counting agreement.
+
+    1.0 for identical partitions (up to label permutation), ~0 for
+    independent ones; can be negative for adversarial disagreement.
+    The degenerate cases where the adjustment denominator vanishes
+    (both partitions trivial) return 1.0, matching standard practice.
+    """
+    table = contingency_matrix(labels_true, labels_pred)
+    n = int(table.sum())
+    total_pairs = n * (n - 1) // 2
+    if total_pairs == 0:
+        return 1.0
+    index = int(_pairs(table).sum())
+    sum_true = int(_pairs(table.sum(axis=1)).sum())
+    sum_pred = int(_pairs(table.sum(axis=0)).sum())
+    expected = sum_true * sum_pred / total_pairs
+    max_index = (sum_true + sum_pred) / 2.0
+    denominator = max_index - expected
+    if denominator == 0.0:
+        return 1.0
+    return float((index - expected) / denominator)

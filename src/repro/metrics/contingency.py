@@ -1,0 +1,40 @@
+"""Contingency matrix between two labelings."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+
+__all__ = ["contingency_matrix", "check_labelings"]
+
+
+def check_labelings(labels_true: np.ndarray, labels_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and coerce a pair of labelings to 1-D int arrays."""
+    labels_true = np.asarray(labels_true)
+    labels_pred = np.asarray(labels_pred)
+    if labels_true.ndim != 1 or labels_pred.ndim != 1:
+        raise DataValidationError("labelings must be 1-dimensional")
+    if labels_true.shape != labels_pred.shape:
+        raise DataValidationError(
+            f"labelings must have equal length; got {labels_true.shape[0]} "
+            f"and {labels_pred.shape[0]}"
+        )
+    if labels_true.size == 0:
+        raise DataValidationError("labelings must be non-empty")
+    return labels_true, labels_pred
+
+
+def contingency_matrix(labels_true: np.ndarray, labels_pred: np.ndarray) -> np.ndarray:
+    """Dense contingency table ``n[i, j]``.
+
+    Entry ``(i, j)`` counts points placed in the i-th distinct true label
+    and j-th distinct predicted label (labels sorted ascending, noise
+    ``-1`` included as a class like any other).
+    """
+    labels_true, labels_pred = check_labelings(labels_true, labels_pred)
+    true_classes, true_idx = np.unique(labels_true, return_inverse=True)
+    pred_classes, pred_idx = np.unique(labels_pred, return_inverse=True)
+    table = np.zeros((true_classes.size, pred_classes.size), dtype=np.int64)
+    np.add.at(table, (true_idx, pred_idx), 1)
+    return table

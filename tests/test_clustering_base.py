@@ -1,0 +1,79 @@
+"""Tests for ClusteringResult and label canonicalization."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import ClusteringResult
+from repro.clustering.base import Clusterer, canonicalize_labels
+from repro.exceptions import InvalidParameterError
+
+
+class TestCanonicalizeLabels:
+    def test_first_appearance_order(self):
+        labels = np.array([5, 5, 2, 2, 9])
+        assert canonicalize_labels(labels).tolist() == [0, 0, 1, 1, 2]
+
+    def test_noise_preserved(self):
+        labels = np.array([-1, 3, -1, 3])
+        assert canonicalize_labels(labels).tolist() == [-1, 0, -1, 0]
+
+    def test_idempotent(self):
+        labels = np.array([0, 1, -1, 2, 1])
+        once = canonicalize_labels(labels)
+        assert np.array_equal(once, canonicalize_labels(once))
+
+    def test_all_noise(self):
+        labels = np.full(4, -1)
+        assert canonicalize_labels(labels).tolist() == [-1] * 4
+
+    def test_negative_internal_sentinels_not_special(self):
+        # Only -1 is noise; other ids map in appearance order.
+        labels = np.array([7, -1, 7, 100])
+        assert canonicalize_labels(labels).tolist() == [0, -1, 0, 1]
+
+
+class TestClusteringResult:
+    def test_n_clusters_and_noise(self):
+        result = ClusteringResult(labels=np.array([0, 0, 1, -1]))
+        assert result.n_clusters == 2
+        assert result.noise_ratio == 0.25
+        assert result.n_points == 4
+
+    def test_cluster_members(self):
+        result = ClusteringResult(labels=np.array([0, 1, 0, -1]))
+        assert result.cluster_members(0).tolist() == [0, 2]
+
+    def test_empty_stats_default(self):
+        result = ClusteringResult(labels=np.array([0]))
+        assert result.stats == {}
+
+    def test_all_noise(self):
+        result = ClusteringResult(labels=np.array([-1, -1]))
+        assert result.n_clusters == 0
+        assert result.noise_ratio == 1.0
+
+
+class TestClustererValidation:
+    class _Dummy(Clusterer):
+        def fit(self, X):
+            return ClusteringResult(labels=np.zeros(len(X), dtype=np.int64))
+
+    def test_valid_params_accepted(self):
+        c = self._Dummy(eps=0.5, tau=3)
+        assert c.eps == 0.5
+        assert c.tau == 3
+
+    @pytest.mark.parametrize("eps", [0.0, -0.5, 2.5])
+    def test_invalid_eps(self, eps):
+        with pytest.raises(InvalidParameterError):
+            self._Dummy(eps=eps, tau=3)
+
+    @pytest.mark.parametrize("tau", [0, -2])
+    def test_invalid_tau(self, tau):
+        with pytest.raises(InvalidParameterError):
+            self._Dummy(eps=0.5, tau=tau)
+
+    def test_fit_predict_returns_labels(self):
+        c = self._Dummy(eps=0.5, tau=3)
+        labels = c.fit_predict(np.ones((3, 2)))
+        assert labels.shape == (3,)

@@ -1,0 +1,88 @@
+"""Tests for DBSCAN++."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import DBSCAN, DBSCANPlusPlus
+from repro.exceptions import InvalidParameterError
+from repro.metrics import adjusted_rand_index
+
+from conftest import make_blobs_on_sphere
+
+
+class TestParameters:
+    def test_invalid_p(self):
+        for bad in (0.0, -0.2, 1.5):
+            with pytest.raises(InvalidParameterError):
+                DBSCANPlusPlus(eps=0.5, tau=3, p=bad)
+
+    def test_invalid_init(self):
+        with pytest.raises(InvalidParameterError):
+            DBSCANPlusPlus(eps=0.5, tau=3, init="random-walk")
+
+
+class TestFullSampleEquivalence:
+    """With p = 1 the sample is the dataset: core set equals DBSCAN's."""
+
+    def test_core_mask_matches_dbscan(self, clusterable_data):
+        eps, tau = 0.5, 5
+        full = DBSCANPlusPlus(eps=eps, tau=tau, p=1.0, seed=0).fit(clusterable_data)
+        exact = DBSCAN(eps=eps, tau=tau).fit(clusterable_data)
+        assert np.array_equal(full.core_mask, exact.core_mask)
+
+    def test_clustering_close_to_dbscan(self, clusterable_data):
+        eps, tau = 0.5, 5
+        full = DBSCANPlusPlus(eps=eps, tau=tau, p=1.0, seed=0).fit(clusterable_data)
+        exact = DBSCAN(eps=eps, tau=tau).fit(clusterable_data)
+        # Same core graph; only border tie-breaks may differ.
+        assert adjusted_rand_index(exact.labels, full.labels) > 0.95
+
+
+class TestSampling:
+    def test_sample_size_respected(self, clusterable_data):
+        result = DBSCANPlusPlus(eps=0.5, tau=5, p=0.25, seed=0).fit(clusterable_data)
+        expected = round(0.25 * clusterable_data.shape[0])
+        assert result.stats["sample_size"] == expected
+        assert result.stats["range_queries"] == expected
+
+    def test_core_points_only_from_sample(self, clusterable_data):
+        result = DBSCANPlusPlus(eps=0.5, tau=5, p=0.2, seed=1).fit(clusterable_data)
+        assert result.stats["n_core"] <= result.stats["sample_size"]
+
+    def test_seed_controls_sampling(self, clusterable_data):
+        a = DBSCANPlusPlus(eps=0.5, tau=5, p=0.3, seed=1).fit(clusterable_data)
+        b = DBSCANPlusPlus(eps=0.5, tau=5, p=0.3, seed=1).fit(clusterable_data)
+        c = DBSCANPlusPlus(eps=0.5, tau=5, p=0.3, seed=2).fit(clusterable_data)
+        assert np.array_equal(a.labels, b.labels)
+        assert a.stats == b.stats
+        # Different seed gives a different sample (may rarely coincide).
+        assert not np.array_equal(a.labels, c.labels) or a.stats != c.stats
+
+    def test_k_center_init_spreads_samples(self):
+        X, _ = make_blobs_on_sphere(50, 3, 16, spread=0.1, seed=0)
+        result = DBSCANPlusPlus(eps=0.5, tau=4, p=0.1, init="k-center", seed=0).fit(X)
+        # Farthest-first traversal hits every blob: all clusters found.
+        assert result.n_clusters == 3
+
+
+class TestQualityOnBlobs:
+    def test_recovers_blobs_with_moderate_sample(self, blob_data):
+        X, y = blob_data
+        result = DBSCANPlusPlus(eps=0.5, tau=4, p=0.4, seed=3).fit(X)
+        assert adjusted_rand_index(y, result.labels) > 0.9
+
+    def test_assign_within_eps_false_absorbs_everything(self, clusterable_data):
+        strict = DBSCANPlusPlus(
+            eps=0.5, tau=5, p=0.5, assign_within_eps=True, seed=0
+        ).fit(clusterable_data)
+        absorb = DBSCANPlusPlus(
+            eps=0.5, tau=5, p=0.5, assign_within_eps=False, seed=0
+        ).fit(clusterable_data)
+        if strict.stats["n_core"] > 0:
+            assert absorb.noise_ratio == 0.0
+            assert absorb.noise_ratio <= strict.noise_ratio
+
+    def test_no_core_points_all_noise(self, unit_vectors_small):
+        result = DBSCANPlusPlus(eps=0.01, tau=5, p=0.5, seed=0).fit(unit_vectors_small)
+        assert result.noise_ratio == 1.0
+        assert result.n_clusters == 0

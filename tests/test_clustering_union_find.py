@@ -1,0 +1,95 @@
+"""Tests for the disjoint-set structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import UnionFind
+from repro.exceptions import InvalidParameterError
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind(5)
+        assert uf.n_components == 5
+        assert not uf.connected(0, 1)
+
+    def test_union_connects(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        assert uf.connected(0, 1)
+        assert uf.n_components == 3
+
+    def test_transitivity(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+
+    def test_idempotent_union(self):
+        uf = UnionFind(3)
+        uf.union(0, 1)
+        uf.union(0, 1)
+        assert uf.n_components == 2
+
+    def test_groups_partition(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        groups = uf.groups()
+        members = sorted(m for group in groups.values() for m in group)
+        assert members == list(range(6))
+        assert sorted(len(g) for g in groups.values()) == [1, 1, 2, 2]
+
+    def test_find_returns_consistent_root(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        uf.union(1, 3)
+        roots = {uf.find(i) for i in range(4)}
+        assert len(roots) == 1
+
+    def test_len(self):
+        assert len(UnionFind(7)) == 7
+
+    def test_zero_elements(self):
+        uf = UnionFind(0)
+        assert uf.n_components == 0
+        assert uf.groups() == {}
+
+    def test_negative_raises(self):
+        with pytest.raises(InvalidParameterError):
+            UnionFind(-1)
+
+    @given(st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_naive_connectivity(self, edges):
+        """Property: union-find connectivity equals graph connectivity."""
+        uf = UnionFind(20)
+        adjacency = {i: {i} for i in range(20)}
+        for a, b in edges:
+            uf.union(a, b)
+        # Naive transitive closure via BFS.
+        import collections
+
+        graph = collections.defaultdict(set)
+        for a, b in edges:
+            graph[a].add(b)
+            graph[b].add(a)
+
+        def reachable(start):
+            seen = {start}
+            queue = [start]
+            while queue:
+                node = queue.pop()
+                for nxt in graph[node]:
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        queue.append(nxt)
+            return seen
+
+        for probe in range(0, 20, 3):
+            component = reachable(probe)
+            for other in range(20):
+                assert uf.connected(probe, other) == (other in component)

@@ -1,0 +1,175 @@
+"""Tests for Algorithm 1 (LAF-DBSCAN), including the lossless invariant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import DBSCAN
+from repro.core import LAFDBSCAN
+from repro.distances import normalize_rows
+from repro.estimators import (
+    ExactCardinalityEstimator,
+    SamplingCardinalityEstimator,
+)
+from repro.exceptions import InvalidParameterError
+from repro.metrics import adjusted_mutual_info, adjusted_rand_index
+
+from conftest import make_blobs_on_sphere
+
+
+class TestLosslessInvariant:
+    """With the exact oracle and alpha = 1, no prediction is ever wrong,
+    so Algorithm 1 degenerates to original DBSCAN exactly."""
+
+    def test_identical_to_dbscan_on_blobs(self, blob_data):
+        X, _ = blob_data
+        for eps, tau in [(0.4, 3), (0.5, 5)]:
+            exact = DBSCAN(eps=eps, tau=tau).fit(X)
+            laf = LAFDBSCAN(
+                eps=eps, tau=tau, estimator=ExactCardinalityEstimator(), alpha=1.0
+            ).fit(X)
+            assert np.array_equal(exact.labels, laf.labels), (eps, tau)
+
+    def test_identical_on_noisy_data(self, clusterable_data):
+        exact = DBSCAN(eps=0.5, tau=5).fit(clusterable_data)
+        laf = LAFDBSCAN(
+            eps=0.5, tau=5, estimator=ExactCardinalityEstimator(), alpha=1.0
+        ).fit(clusterable_data)
+        assert np.array_equal(exact.labels, laf.labels)
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=12, deadline=None)
+    def test_property_identical_on_random_data(self, seed):
+        rng = np.random.default_rng(seed)
+        X = normalize_rows(rng.normal(size=(45, 8)))
+        exact = DBSCAN(eps=0.6, tau=4).fit(X)
+        laf = LAFDBSCAN(
+            eps=0.6, tau=4, estimator=ExactCardinalityEstimator(), alpha=1.0
+        ).fit(X)
+        assert np.array_equal(exact.labels, laf.labels)
+
+    def test_oracle_no_false_negatives_detected(self, clusterable_data):
+        laf = LAFDBSCAN(
+            eps=0.5, tau=5, estimator=ExactCardinalityEstimator(), alpha=1.0
+        ).fit(clusterable_data)
+        assert laf.stats["fn_detected"] == 0
+        assert laf.stats["merges"] == 0
+
+    def test_oracle_skips_stop_point_queries(self, clusterable_data):
+        exact = DBSCAN(eps=0.5, tau=5).fit(clusterable_data)
+        laf = LAFDBSCAN(
+            eps=0.5, tau=5, estimator=ExactCardinalityEstimator(), alpha=1.0
+        ).fit(clusterable_data)
+        assert laf.stats["range_queries"] < exact.stats["range_queries"]
+        assert (
+            laf.stats["range_queries"] + laf.stats["skipped_queries"]
+            <= exact.stats["range_queries"]
+        )
+
+
+class TestAlphaSemantics:
+    """alpha shifts the speed/quality balance exactly as Section 2.1 says."""
+
+    def test_high_alpha_skips_more(self, clusterable_data):
+        est = ExactCardinalityEstimator()
+        low = LAFDBSCAN(eps=0.5, tau=5, estimator=est, alpha=1.0).fit(clusterable_data)
+        high = LAFDBSCAN(eps=0.5, tau=5, estimator=est, alpha=5.0).fit(clusterable_data)
+        assert high.stats["skipped_queries"] >= low.stats["skipped_queries"]
+        assert high.stats["range_queries"] <= low.stats["range_queries"]
+
+    def test_tiny_alpha_equals_dbscan_queries(self, clusterable_data):
+        # alpha -> 0 predicts everything core: zero skips, plain DBSCAN.
+        est = ExactCardinalityEstimator()
+        laf = LAFDBSCAN(eps=0.5, tau=5, estimator=est, alpha=1e-9).fit(clusterable_data)
+        exact = DBSCAN(eps=0.5, tau=5).fit(clusterable_data)
+        assert laf.stats["skipped_queries"] == 0
+        assert np.array_equal(laf.labels, exact.labels)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(InvalidParameterError):
+            LAFDBSCAN(eps=0.5, tau=3, estimator=ExactCardinalityEstimator(), alpha=0.0)
+
+
+class TestWithImperfectEstimator:
+    """A noisy estimator degrades quality gracefully; post-processing
+    recovers part of it."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        X, y = make_blobs_on_sphere(50, 4, 24, spread=0.3, seed=1)
+        estimator = SamplingCardinalityEstimator(sample_size=20, seed=0).fit(X)
+        gt = DBSCAN(eps=0.5, tau=5).fit(X)
+        return X, estimator, gt
+
+    def test_quality_reasonable(self, setup):
+        X, estimator, gt = setup
+        laf = LAFDBSCAN(eps=0.5, tau=5, estimator=estimator, alpha=1.0, seed=0).fit(X)
+        assert adjusted_rand_index(gt.labels, laf.labels) > 0.5
+
+    def test_postprocessing_never_hurts_much(self, setup):
+        X, estimator, gt = setup
+        with_pp = LAFDBSCAN(
+            eps=0.5, tau=5, estimator=estimator, alpha=1.5, seed=0
+        ).fit(X)
+        without_pp = LAFDBSCAN(
+            eps=0.5,
+            tau=5,
+            estimator=estimator,
+            alpha=1.5,
+            enable_post_processing=False,
+            seed=0,
+        ).fit(X)
+        ami_with = adjusted_mutual_info(gt.labels, with_pp.labels)
+        ami_without = adjusted_mutual_info(gt.labels, without_pp.labels)
+        assert ami_with >= ami_without - 0.05
+
+    def test_fn_detection_fires_under_aggressive_alpha(self, setup):
+        X, estimator, _ = setup
+        laf = LAFDBSCAN(eps=0.5, tau=5, estimator=estimator, alpha=3.0, seed=0).fit(X)
+        # With alpha = 3 many true cores are predicted stop; their full
+        # neighborhoods are discovered by surviving queries.
+        assert laf.stats["fn_detected"] > 0
+
+    def test_stats_complete(self, setup):
+        X, estimator, _ = setup
+        laf = LAFDBSCAN(eps=0.5, tau=5, estimator=estimator, alpha=1.5, seed=0).fit(X)
+        expected_keys = {
+            "range_queries",
+            "skipped_queries",
+            "fn_detected",
+            "merges",
+            "cardest_calls",
+            "predicted_stop_points",
+            "alpha",
+        }
+        assert expected_keys <= set(laf.stats)
+        assert laf.stats["cardest_calls"] == X.shape[0]
+
+    def test_deterministic_given_seed(self, setup):
+        X, estimator, _ = setup
+        a = LAFDBSCAN(eps=0.5, tau=5, estimator=estimator, alpha=2.0, seed=3).fit(X)
+        b = LAFDBSCAN(eps=0.5, tau=5, estimator=estimator, alpha=2.0, seed=3).fit(X)
+        assert np.array_equal(a.labels, b.labels)
+
+
+class TestDegenerateCases:
+    def test_everything_predicted_stop(self, unit_vectors_small):
+        # Absurd alpha: all points skipped, everything noise, and the
+        # post-processing has no evidence to recover anything.
+        laf = LAFDBSCAN(
+            eps=0.5,
+            tau=5,
+            estimator=ExactCardinalityEstimator(),
+            alpha=1e9,
+        ).fit(unit_vectors_small)
+        assert laf.noise_ratio == 1.0
+        assert laf.stats["range_queries"] == 0
+
+    def test_single_cluster_world(self):
+        X, _ = make_blobs_on_sphere(30, 1, 16, spread=0.05, seed=0)
+        laf = LAFDBSCAN(
+            eps=0.5, tau=3, estimator=ExactCardinalityEstimator(), alpha=1.0
+        ).fit(X)
+        assert laf.n_clusters == 1
+        assert laf.noise_ratio == 0.0

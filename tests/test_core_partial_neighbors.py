@@ -1,0 +1,113 @@
+"""Tests for the map E and Algorithm 2 (UpdatePartialNeighbors)."""
+
+import numpy as np
+
+from repro.core import PartialNeighborMap
+
+
+class TestRegistration:
+    def test_register_creates_empty_set(self):
+        E = PartialNeighborMap(10)
+        E.register_stop_point(3)
+        assert 3 in E
+        assert E.neighbors_of(3) == set()
+        assert len(E) == 1
+
+    def test_register_idempotent(self):
+        """Algorithm 1 line 8: 'if P not in E then E(P) := {}' — a second
+        registration must not clear accumulated neighbors."""
+        E = PartialNeighborMap(10)
+        E.register_stop_point(3)
+        E.update(7, np.array([3]))
+        E.register_stop_point(3)
+        assert E.neighbors_of(3) == {7}
+
+    def test_unregistered_not_contained(self):
+        E = PartialNeighborMap(5)
+        assert 2 not in E
+        assert E.neighbors_of(2) == set()
+
+
+class TestUpdate:
+    def test_only_recorded_points_updated(self):
+        """Algorithm 2: neighbors not in E are ignored."""
+        E = PartialNeighborMap(10)
+        E.register_stop_point(4)
+        E.update(1, np.array([2, 3, 4]))
+        assert E.neighbors_of(4) == {1}
+        assert E.neighbors_of(2) == set()
+        assert E.neighbors_of(3) == set()
+
+    def test_accumulates_across_queries(self):
+        E = PartialNeighborMap(10)
+        E.register_stop_point(5)
+        E.update(0, np.array([5]))
+        E.update(1, np.array([5]))
+        E.update(2, np.array([5, 9]))
+        assert E.neighbors_of(5) == {0, 1, 2}
+
+    def test_duplicate_updates_are_set_semantics(self):
+        E = PartialNeighborMap(10)
+        E.register_stop_point(5)
+        E.update(0, np.array([5]))
+        E.update(0, np.array([5]))
+        assert E.neighbors_of(5) == {0}
+
+    def test_self_neighbor_excluded(self):
+        # A stop point later executing a query must not record itself.
+        E = PartialNeighborMap(10)
+        E.register_stop_point(5)
+        E.update(5, np.array([5, 6]))
+        assert E.neighbors_of(5) == set()
+
+    def test_empty_neighbor_array(self):
+        E = PartialNeighborMap(10)
+        E.register_stop_point(1)
+        E.update(0, np.array([], dtype=np.int64))
+        assert E.neighbors_of(1) == set()
+
+    def test_subset_invariant(self):
+        """E(P) only ever contains points that found P as a neighbor —
+        i.e., a subset of P's true neighborhood by symmetry."""
+        rng = np.random.default_rng(0)
+        from repro.distances import normalize_rows
+        from repro.index import BruteForceIndex
+
+        X = normalize_rows(rng.normal(size=(40, 8)))
+        index = BruteForceIndex().build(X)
+        eps = 0.6
+        E = PartialNeighborMap(40)
+        for p in range(0, 40, 3):
+            E.register_stop_point(p)
+        for q in range(40):
+            if q not in E:
+                E.update(q, index.range_query(X[q], eps))
+        for p, partial in E.items():
+            true_neighbors = set(index.range_query(X[p], eps).tolist())
+            assert partial <= true_neighbors
+
+
+class TestIterationAndCandidates:
+    def test_insertion_order_preserved(self):
+        E = PartialNeighborMap(10)
+        for p in (7, 2, 9):
+            E.register_stop_point(p)
+        assert list(E) == [7, 2, 9]
+
+    def test_false_negative_candidates(self):
+        E = PartialNeighborMap(10)
+        E.register_stop_point(1)
+        E.register_stop_point(2)
+        E.update(0, np.array([1, 2]))
+        E.update(3, np.array([1]))
+        E.update(4, np.array([1]))
+        assert E.false_negative_candidates(tau=3) == [1]
+        assert E.false_negative_candidates(tau=1) == [1, 2]
+        assert E.false_negative_candidates(tau=5) == []
+
+    def test_items_view(self):
+        E = PartialNeighborMap(10)
+        E.register_stop_point(4)
+        E.update(1, np.array([4]))
+        items = dict(E.items())
+        assert items == {4: {1}}

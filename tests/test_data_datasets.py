@@ -1,0 +1,144 @@
+"""Tests for the Table 1 dataset registry and splits."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASET_SPECS,
+    dataset_names,
+    gaussian_random_projection,
+    load_dataset,
+    train_test_split,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestRegistry:
+    def test_all_paper_datasets_present(self):
+        assert dataset_names() == [
+            "NYT-150k",
+            "Glove-150k",
+            "MS-150k",
+            "MS-100k",
+            "MS-50k",
+        ]
+
+    def test_table1_dimensions(self):
+        assert DATASET_SPECS["NYT-150k"].dim == 256
+        assert DATASET_SPECS["Glove-150k"].dim == 200
+        assert DATASET_SPECS["MS-150k"].dim == 768
+
+    def test_table1_alphas(self):
+        assert DATASET_SPECS["NYT-150k"].alpha == 1.15
+        assert DATASET_SPECS["Glove-150k"].alpha == 2.0
+        assert DATASET_SPECS["MS-150k"].alpha == 7.7
+        assert DATASET_SPECS["MS-100k"].alpha == 2.0
+        assert DATASET_SPECS["MS-50k"].alpha == 1.5
+
+    def test_table1_full_sizes(self):
+        assert DATASET_SPECS["MS-150k"].n_full == 152_185
+        assert DATASET_SPECS["MS-100k"].n_full == 107_400
+        assert DATASET_SPECS["MS-50k"].n_full == 53_700
+
+    def test_scale_relative_sizes(self):
+        small = DATASET_SPECS["MS-50k"].n_at_scale(0.01)
+        large = DATASET_SPECS["MS-150k"].n_at_scale(0.01)
+        assert large == pytest.approx(small * 152_185 / 53_700, rel=0.01)
+
+    def test_minimum_size_floor(self):
+        assert DATASET_SPECS["MS-50k"].n_at_scale(1e-9) >= 120
+
+    def test_invalid_scale(self):
+        with pytest.raises(InvalidParameterError):
+            DATASET_SPECS["MS-50k"].n_at_scale(0.0)
+
+
+class TestLoadDataset:
+    def test_loads_with_correct_shape(self):
+        ds = load_dataset("MS-50k", scale=0.003, seed=0)
+        assert ds.dim == 768
+        assert ds.n_points == max(120, round(53_700 * 0.003))
+        assert np.allclose(np.linalg.norm(ds.X, axis=1), 1.0, atol=1e-9)
+
+    def test_unknown_name(self):
+        with pytest.raises(InvalidParameterError, match="unknown dataset"):
+            load_dataset("MNIST")
+
+    def test_deterministic(self):
+        a = load_dataset("Glove-150k", scale=0.001, seed=3)
+        b = load_dataset("Glove-150k", scale=0.001, seed=3)
+        assert np.array_equal(a.X, b.X)
+
+    def test_generator_overrides_forwarded(self):
+        ds = load_dataset("MS-50k", scale=0.003, seed=0, noise_fraction=0.3)
+        assert np.count_nonzero(ds.generative_labels == -1) == round(ds.n_points * 0.3)
+
+    def test_split_shapes(self):
+        ds = load_dataset("MS-50k", scale=0.003, seed=0)
+        train, test = ds.split()
+        assert train.shape[0] + test.shape[0] == ds.n_points
+        assert train.shape[0] == round(0.8 * ds.n_points)
+
+    def test_nyt_uses_out_dim(self):
+        ds = load_dataset("NYT-150k", scale=0.001, seed=0)
+        assert ds.dim == 256
+
+
+class TestTrainTestSplit:
+    def test_partition(self):
+        X = np.arange(40, dtype=float).reshape(20, 2)
+        train, test = train_test_split(X, 0.8, seed=0)
+        combined = np.vstack([train, test])
+        assert sorted(combined[:, 0].tolist()) == sorted(X[:, 0].tolist())
+
+    def test_ratio(self):
+        X = np.ones((100, 3))
+        train, test = train_test_split(X, 0.8, seed=0)
+        assert train.shape[0] == 80
+        assert test.shape[0] == 20
+
+    def test_deterministic(self):
+        X = np.random.default_rng(0).normal(size=(30, 4))
+        t1, _ = train_test_split(X, 0.7, seed=9)
+        t2, _ = train_test_split(X, 0.7, seed=9)
+        assert np.array_equal(t1, t2)
+
+    def test_never_empty_sides(self):
+        X = np.ones((2, 2))
+        train, test = train_test_split(X, 0.99, seed=0)
+        assert train.shape[0] == 1 and test.shape[0] == 1
+
+    def test_invalid_fraction(self):
+        with pytest.raises(InvalidParameterError):
+            train_test_split(np.ones((10, 2)), 1.0)
+        with pytest.raises(InvalidParameterError):
+            train_test_split(np.ones((10, 2)), 0.0)
+
+    def test_too_few_rows(self):
+        with pytest.raises(InvalidParameterError):
+            train_test_split(np.ones((1, 2)), 0.5)
+
+
+class TestGaussianRandomProjection:
+    def test_output_shape(self):
+        X = np.random.default_rng(0).normal(size=(50, 100))
+        assert gaussian_random_projection(X, 16, seed=0).shape == (50, 16)
+
+    def test_deterministic(self):
+        X = np.random.default_rng(1).normal(size=(20, 64))
+        a = gaussian_random_projection(X, 8, seed=2)
+        b = gaussian_random_projection(X, 8, seed=2)
+        assert np.array_equal(a, b)
+
+    def test_preserves_norms_approximately(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(100, 2000))
+        proj = gaussian_random_projection(X, 512, seed=4)
+        ratios = np.linalg.norm(proj, axis=1) / np.linalg.norm(X, axis=1)
+        assert 0.8 < ratios.mean() < 1.2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            gaussian_random_projection(np.ones(5), 2)
+        with pytest.raises(InvalidParameterError):
+            gaussian_random_projection(np.ones((5, 5)), 0)

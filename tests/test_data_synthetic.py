@@ -1,0 +1,97 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_glove_like, make_ms_like, make_nyt_like, uniform_sphere
+from repro.exceptions import InvalidParameterError
+
+
+class TestUniformSphere:
+    def test_shape_and_norm(self):
+        X = uniform_sphere(100, 16, seed=0)
+        assert X.shape == (100, 16)
+        assert np.allclose(np.linalg.norm(X, axis=1), 1.0)
+
+    def test_deterministic(self):
+        assert np.array_equal(uniform_sphere(10, 4, seed=1), uniform_sphere(10, 4, seed=1))
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            uniform_sphere(-1, 4)
+        with pytest.raises(InvalidParameterError):
+            uniform_sphere(5, 1)
+
+
+@pytest.mark.parametrize(
+    "generator,dim_kw,dim",
+    [
+        (make_ms_like, "dim", 64),
+        (make_glove_like, "dim", 48),
+        (make_nyt_like, "out_dim", 32),
+    ],
+)
+class TestGeneratorsCommon:
+    def test_shape_labels_and_norm(self, generator, dim_kw, dim):
+        X, y = generator(300, **{dim_kw: dim}, seed=0)
+        assert X.shape == (300, dim)
+        assert y.shape == (300,)
+        assert np.allclose(np.linalg.norm(X, axis=1), 1.0, atol=1e-9)
+
+    def test_deterministic(self, generator, dim_kw, dim):
+        X1, y1 = generator(120, **{dim_kw: dim}, seed=5)
+        X2, y2 = generator(120, **{dim_kw: dim}, seed=5)
+        assert np.array_equal(X1, X2)
+        assert np.array_equal(y1, y2)
+
+    def test_different_seeds_differ(self, generator, dim_kw, dim):
+        X1, _ = generator(120, **{dim_kw: dim}, seed=5)
+        X2, _ = generator(120, **{dim_kw: dim}, seed=6)
+        assert not np.allclose(X1, X2)
+
+    def test_noise_fraction_respected(self, generator, dim_kw, dim):
+        _, y = generator(200, **{dim_kw: dim}, noise_fraction=0.25, seed=1)
+        assert np.count_nonzero(y == -1) == 50
+
+    def test_invalid_noise_fraction(self, generator, dim_kw, dim):
+        with pytest.raises(InvalidParameterError):
+            generator(50, **{dim_kw: dim}, noise_fraction=1.0)
+
+
+class TestClusterGeometry:
+    """The generators must put same-cluster points angularly closer."""
+
+    @pytest.mark.parametrize(
+        "generator,kwargs",
+        [
+            (make_ms_like, {"dim": 64}),
+            (make_glove_like, {"dim": 48}),
+        ],
+    )
+    def test_intra_closer_than_inter(self, generator, kwargs):
+        X, y = generator(400, **kwargs, seed=2)
+        rng = np.random.default_rng(0)
+        intra, inter = [], []
+        for _ in range(600):
+            i, j = rng.integers(0, X.shape[0], 2)
+            if y[i] == -1 or y[j] == -1 or i == j:
+                continue
+            d = 1.0 - float(X[i] @ X[j])
+            (intra if y[i] == y[j] else inter).append(d)
+        assert np.mean(intra) < np.mean(inter)
+
+    def test_ms_like_cluster_count(self):
+        _, y = make_ms_like(500, dim=64, n_macro=4, micro_per_macro=3, seed=3)
+        labels = set(y.tolist()) - {-1}
+        assert len(labels) == 12  # 4 macro x 3 micro
+
+    def test_glove_like_zipf_sizes(self):
+        _, y = make_glove_like(600, dim=32, n_clusters=10, seed=4, noise_fraction=0.0)
+        _, counts = np.unique(y, return_counts=True)
+        # Zipf skew: largest cluster much bigger than smallest.
+        assert counts.max() > 3 * counts.min()
+
+    def test_nyt_like_dominant_topic_labels(self):
+        _, y = make_nyt_like(200, out_dim=32, n_topics=6, seed=5)
+        labels = set(y.tolist()) - {-1}
+        assert labels <= set(range(6))

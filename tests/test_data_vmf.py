@@ -1,0 +1,83 @@
+"""Tests for the von Mises-Fisher sampler."""
+
+import numpy as np
+import pytest
+
+from repro.data import sample_vmf
+from repro.exceptions import InvalidParameterError
+
+
+class TestSampleVmf:
+    def test_unit_norm_output(self):
+        mu = np.zeros(16)
+        mu[0] = 1.0
+        X = sample_vmf(mu, kappa=50.0, n=200, seed=0)
+        assert X.shape == (200, 16)
+        assert np.allclose(np.linalg.norm(X, axis=1), 1.0, atol=1e-9)
+
+    def test_concentrates_around_mu(self):
+        rng = np.random.default_rng(1)
+        mu = rng.normal(size=32)
+        mu /= np.linalg.norm(mu)
+        X = sample_vmf(mu, kappa=500.0, n=300, seed=2)
+        sims = X @ mu
+        assert sims.mean() > 0.9
+
+    def test_higher_kappa_tighter(self):
+        mu = np.zeros(24)
+        mu[0] = 1.0
+        loose = sample_vmf(mu, kappa=20.0, n=400, seed=3) @ mu
+        tight = sample_vmf(mu, kappa=800.0, n=400, seed=3) @ mu
+        assert tight.mean() > loose.mean()
+        assert tight.std() < loose.std()
+
+    def test_kappa_zero_uniform(self):
+        mu = np.zeros(8)
+        mu[0] = 1.0
+        X = sample_vmf(mu, kappa=0.0, n=2000, seed=4)
+        # Uniform on the sphere: mean resultant is near zero.
+        assert np.linalg.norm(X.mean(axis=0)) < 0.1
+
+    def test_mu_normalized_internally(self):
+        mu = np.zeros(8)
+        mu[0] = 10.0  # un-normalized mean direction
+        X = sample_vmf(mu, kappa=300.0, n=100, seed=5)
+        assert (X @ (mu / 10.0)).mean() > 0.8
+
+    def test_mu_away_from_north_pole(self):
+        # Exercises the Householder reflection path.
+        mu = np.zeros(12)
+        mu[-1] = -1.0
+        X = sample_vmf(mu, kappa=400.0, n=150, seed=6)
+        assert (X @ mu).mean() > 0.85
+
+    def test_deterministic_given_seed(self):
+        mu = np.zeros(6)
+        mu[0] = 1.0
+        a = sample_vmf(mu, 100.0, 50, seed=7)
+        b = sample_vmf(mu, 100.0, 50, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_n_zero(self):
+        mu = np.zeros(5)
+        mu[0] = 1.0
+        assert sample_vmf(mu, 10.0, 0, seed=0).shape == (0, 5)
+
+    def test_invalid_inputs(self):
+        mu = np.zeros(5)
+        mu[0] = 1.0
+        with pytest.raises(InvalidParameterError):
+            sample_vmf(mu, kappa=-1.0, n=5)
+        with pytest.raises(InvalidParameterError):
+            sample_vmf(mu, kappa=1.0, n=-2)
+        with pytest.raises(InvalidParameterError):
+            sample_vmf(np.zeros(5), kappa=1.0, n=5)  # zero mean direction
+        with pytest.raises(InvalidParameterError):
+            sample_vmf(np.array([1.0]), kappa=1.0, n=5)  # dim < 2
+
+    def test_high_dimension(self):
+        mu = np.zeros(768)
+        mu[0] = 1.0
+        X = sample_vmf(mu, kappa=2000.0, n=50, seed=8)
+        assert np.allclose(np.linalg.norm(X, axis=1), 1.0, atol=1e-9)
+        assert (X @ mu).min() > 0.0

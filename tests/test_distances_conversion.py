@@ -1,0 +1,70 @@
+"""Tests for Equation 1: cosine <-> Euclidean conversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distances import (
+    cosine_from_euclidean,
+    euclidean_from_cosine,
+    normalize_rows,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestEquation1:
+    def test_paper_example(self):
+        # "when d_cos = 0.5, the equivalent d_euc = 1.0"
+        assert euclidean_from_cosine(0.5) == pytest.approx(1.0)
+        assert cosine_from_euclidean(1.0) == pytest.approx(0.5)
+
+    def test_endpoints(self):
+        assert euclidean_from_cosine(0.0) == 0.0
+        assert euclidean_from_cosine(2.0) == pytest.approx(2.0)
+        assert cosine_from_euclidean(0.0) == 0.0
+        assert cosine_from_euclidean(2.0) == pytest.approx(2.0)
+
+    @given(st.floats(0.0, 2.0))
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip(self, d_cos):
+        assert cosine_from_euclidean(euclidean_from_cosine(d_cos)) == pytest.approx(
+            d_cos, abs=1e-12
+        )
+
+    @given(st.floats(0.0, 2.0))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone(self, d_cos):
+        if d_cos < 2.0:
+            assert euclidean_from_cosine(d_cos) <= euclidean_from_cosine(
+                min(d_cos + 0.1, 2.0)
+            )
+
+    def test_matches_geometry_on_actual_unit_vectors(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            u = normalize_rows(rng.normal(size=10))
+            v = normalize_rows(rng.normal(size=10))
+            d_cos = 1.0 - float(u @ v)
+            d_euc = float(np.linalg.norm(u - v))
+            assert euclidean_from_cosine(d_cos) == pytest.approx(d_euc, abs=1e-9)
+
+    def test_array_input(self):
+        arr = np.array([0.0, 0.5, 2.0])
+        out = euclidean_from_cosine(arr)
+        assert isinstance(out, np.ndarray)
+        assert np.allclose(out, [0.0, 1.0, 2.0])
+
+    def test_scalar_returns_float(self):
+        assert isinstance(euclidean_from_cosine(0.3), float)
+        assert isinstance(cosine_from_euclidean(0.3), float)
+
+    @pytest.mark.parametrize("bad", [-0.1, 2.5, 100.0])
+    def test_cosine_domain_errors(self, bad):
+        with pytest.raises(InvalidParameterError):
+            euclidean_from_cosine(bad)
+
+    @pytest.mark.parametrize("bad", [-0.1, 2.0001])
+    def test_euclidean_domain_errors(self, bad):
+        with pytest.raises(InvalidParameterError):
+            cosine_from_euclidean(bad)

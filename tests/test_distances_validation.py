@@ -1,0 +1,71 @@
+"""Tests for input validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.distances import check_finite_2d, check_unit_norm, is_unit_normalized, normalize_rows
+from repro.exceptions import DataValidationError
+
+
+class TestCheckFinite2d:
+    def test_accepts_valid(self):
+        X = np.ones((3, 4))
+        out = check_finite_2d(X)
+        assert out.shape == (3, 4)
+
+    def test_converts_lists(self):
+        out = check_finite_2d([[1.0, 2.0], [3.0, 4.0]])
+        assert isinstance(out, np.ndarray)
+        assert out.dtype == np.float64
+
+    def test_rejects_1d(self):
+        with pytest.raises(DataValidationError, match="2-dimensional"):
+            check_finite_2d(np.ones(5))
+
+    def test_rejects_3d(self):
+        with pytest.raises(DataValidationError):
+            check_finite_2d(np.ones((2, 2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataValidationError, match="non-empty"):
+            check_finite_2d(np.ones((0, 4)))
+
+    def test_rejects_nan(self):
+        X = np.ones((3, 3))
+        X[1, 1] = np.nan
+        with pytest.raises(DataValidationError, match="NaN"):
+            check_finite_2d(X)
+
+    def test_rejects_inf(self):
+        X = np.ones((3, 3))
+        X[0, 2] = np.inf
+        with pytest.raises(DataValidationError):
+            check_finite_2d(X)
+
+    def test_error_uses_custom_name(self):
+        with pytest.raises(DataValidationError, match="queries"):
+            check_finite_2d(np.ones(3), name="queries")
+
+
+class TestUnitNormChecks:
+    def test_is_unit_normalized_true(self):
+        rng = np.random.default_rng(0)
+        X = normalize_rows(rng.normal(size=(10, 6)))
+        assert is_unit_normalized(X)
+
+    def test_is_unit_normalized_false(self):
+        assert not is_unit_normalized(np.ones((3, 3)))
+
+    def test_check_unit_norm_passes_through(self):
+        rng = np.random.default_rng(1)
+        X = normalize_rows(rng.normal(size=(5, 4)))
+        assert check_unit_norm(X) is not None
+
+    def test_check_unit_norm_rejects_and_reports_magnitude(self):
+        with pytest.raises(DataValidationError, match="normalize_rows"):
+            check_unit_norm(2.0 * np.eye(3))
+
+    def test_tolerates_float32_noise(self):
+        rng = np.random.default_rng(2)
+        X = normalize_rows(rng.normal(size=(8, 5))).astype(np.float32)
+        assert is_unit_normalized(np.asarray(X, dtype=np.float64))

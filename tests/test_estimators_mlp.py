@@ -1,0 +1,131 @@
+"""Tests for the numpy MLP regressor."""
+
+import numpy as np
+import pytest
+
+from repro.estimators import MLPRegressor
+from repro.estimators.mlp import paper_hidden_layers
+from repro.exceptions import InvalidParameterError, NotFittedError
+
+
+def make_regression(n=400, d=4, seed=0, noise=0.05):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, d))
+    y = X[:, 0] * 2.0 - X[:, 1] + 0.5 * X[:, 2] ** 2
+    return X, y + noise * rng.normal(size=n)
+
+
+class TestConstruction:
+    def test_invalid_params(self):
+        with pytest.raises(InvalidParameterError):
+            MLPRegressor(hidden_layers=(0,))
+        with pytest.raises(InvalidParameterError):
+            MLPRegressor(learning_rate=0.0)
+        with pytest.raises(InvalidParameterError):
+            MLPRegressor(batch_size=0)
+        with pytest.raises(InvalidParameterError):
+            MLPRegressor(epochs=0)
+        with pytest.raises(InvalidParameterError):
+            MLPRegressor(l2=-0.1)
+
+    def test_paper_architecture_constant(self):
+        assert paper_hidden_layers() == (512, 512, 256, 128)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            MLPRegressor().predict(np.ones((2, 3)))
+
+
+class TestFit:
+    def test_learns_linear_function(self):
+        X, y = make_regression(noise=0.0)
+        model = MLPRegressor(hidden_layers=(32, 16), epochs=150, seed=0).fit(X, y)
+        pred = model.predict(X)
+        rmse = float(np.sqrt(np.mean((pred - y) ** 2)))
+        assert rmse < 0.15
+
+    def test_loss_decreases(self):
+        X, y = make_regression()
+        model = MLPRegressor(hidden_layers=(16,), epochs=40, seed=1).fit(X, y)
+        losses = model.history.losses
+        assert losses[-1] < losses[0]
+        assert model.history.n_epochs == 40
+
+    def test_deterministic_given_seed(self):
+        X, y = make_regression()
+        p1 = MLPRegressor(hidden_layers=(8,), epochs=10, seed=5).fit(X, y).predict(X[:5])
+        p2 = MLPRegressor(hidden_layers=(8,), epochs=10, seed=5).fit(X, y).predict(X[:5])
+        assert np.allclose(p1, p2)
+
+    def test_different_seeds_differ(self):
+        X, y = make_regression()
+        p1 = MLPRegressor(hidden_layers=(8,), epochs=5, seed=1).fit(X, y).predict(X[:5])
+        p2 = MLPRegressor(hidden_layers=(8,), epochs=5, seed=2).fit(X, y).predict(X[:5])
+        assert not np.allclose(p1, p2)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(InvalidParameterError):
+            MLPRegressor().fit(np.ones((5, 2)), np.ones(4))
+
+    def test_1d_x_raises(self):
+        with pytest.raises(InvalidParameterError):
+            MLPRegressor().fit(np.ones(5), np.ones(5))
+
+    def test_constant_feature_no_nan(self):
+        X, y = make_regression()
+        X[:, 0] = 3.0  # zero-variance feature must not divide by zero
+        model = MLPRegressor(hidden_layers=(8,), epochs=5, seed=0).fit(X, y)
+        assert np.isfinite(model.predict(X)).all()
+
+    def test_l2_regularization_shrinks_overfit(self):
+        X, y = make_regression(n=50, noise=0.5, seed=3)
+        free = MLPRegressor(hidden_layers=(64, 64), epochs=200, seed=0).fit(X, y)
+        reg = MLPRegressor(hidden_layers=(64, 64), epochs=200, seed=0, l2=0.1).fit(X, y)
+        # Regularized training loss should stay above the unregularized one.
+        assert reg.history.final_loss >= free.history.final_loss
+
+
+class TestPredict:
+    def test_single_row(self):
+        X, y = make_regression()
+        model = MLPRegressor(hidden_layers=(8,), epochs=5, seed=0).fit(X, y)
+        out = model.predict(X[0])
+        assert out.shape == (1,)
+
+    def test_batch_matches_loop(self):
+        X, y = make_regression()
+        model = MLPRegressor(hidden_layers=(8,), epochs=5, seed=0).fit(X, y)
+        batch = model.predict(X[:10])
+        loop = np.array([model.predict(x)[0] for x in X[:10]])
+        assert np.allclose(batch, loop)
+
+
+class TestCloneAndPersistence:
+    def test_clone_from_copies_function(self):
+        X, y = make_regression()
+        parent = MLPRegressor(hidden_layers=(8,), epochs=10, seed=0).fit(X, y)
+        child = MLPRegressor(hidden_layers=(8,), seed=1).clone_from(parent)
+        assert np.allclose(parent.predict(X[:7]), child.predict(X[:7]))
+
+    def test_clone_is_deep(self):
+        X, y = make_regression()
+        parent = MLPRegressor(hidden_layers=(8,), epochs=5, seed=0).fit(X, y)
+        child = MLPRegressor(hidden_layers=(8,), seed=1).clone_from(parent)
+        child._weights[0][:] = 0.0
+        assert not np.allclose(parent.predict(X[:3]), child.predict(X[:3]))
+
+    def test_clone_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            MLPRegressor().clone_from(MLPRegressor())
+
+    def test_save_load_round_trip(self, tmp_path):
+        X, y = make_regression()
+        model = MLPRegressor(hidden_layers=(8, 4), epochs=10, seed=0).fit(X, y)
+        path = str(tmp_path / "model.npz")
+        model.save(path)
+        loaded = MLPRegressor.load(path)
+        assert np.allclose(model.predict(X[:9]), loaded.predict(X[:9]))
+
+    def test_save_unfitted_raises(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            MLPRegressor().save(str(tmp_path / "x.npz"))

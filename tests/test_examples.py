@@ -1,0 +1,50 @@
+"""Every example script must run end to end (at reduced scale)."""
+
+import os
+import runpy
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+EXAMPLES = [
+    "quickstart.py",
+    "passage_embedding_pipeline.py",
+    "tradeoff_tuning.py",
+    "custom_estimator_plugin.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys):
+    """Run the example in-process at tiny scale; it must print output."""
+    os.environ["REPRO_EXAMPLE_SCALE"] = "0.008"
+    try:
+        runpy.run_path(os.path.join(EXAMPLES_DIR, script), run_name="__main__")
+    finally:
+        os.environ.pop("REPRO_EXAMPLE_SCALE", None)
+    out = capsys.readouterr().out
+    assert len(out.splitlines()) >= 3, f"{script} produced almost no output"
+
+
+def test_examples_directory_complete():
+    """The four documented examples exist and nothing is stale."""
+    present = sorted(
+        f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+    )
+    assert present == sorted(EXAMPLES)
+
+
+def test_quickstart_subprocess_smoke():
+    """The quickstart also works as a plain `python examples/...` call."""
+    env = dict(os.environ, REPRO_EXAMPLE_SCALE="0.006")
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "speedup" in proc.stdout

@@ -1,0 +1,113 @@
+"""Tests for the method registry and context."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    BlockDBSCAN,
+    DBSCAN,
+    DBSCANPlusPlus,
+    KNNBlockDBSCAN,
+    RhoApproxDBSCAN,
+)
+from repro.core import LAFDBSCAN, LAFDBSCANPlusPlus
+from repro.estimators import ExactCardinalityEstimator
+from repro.exceptions import InvalidParameterError
+from repro.experiments import MethodContext, build_method, method_names
+from repro.experiments.methods import ALL_METHODS, APPROXIMATE_METHODS
+
+from conftest import make_blobs_on_sphere
+
+
+@pytest.fixture(scope="module")
+def ctx_and_data():
+    X, _ = make_blobs_on_sphere(30, 3, 16, spread=0.3, seed=0)
+    ctx = MethodContext(
+        eps=0.5, tau=5, alpha=1.5, estimator=ExactCardinalityEstimator(), seed=0
+    )
+    return ctx, X
+
+
+class TestRegistry:
+    def test_all_methods_listed(self):
+        assert set(method_names()) == {
+            "DBSCAN",
+            "DBSCAN++",
+            "LAF-DBSCAN",
+            "LAF-DBSCAN++",
+            "KNN-BLOCK",
+            "BLOCK-DBSCAN",
+            "RHO-APPROX",
+        }
+
+    def test_approximate_excludes_ground_truth(self):
+        assert "DBSCAN" not in APPROXIMATE_METHODS
+        assert "RHO-APPROX" not in APPROXIMATE_METHODS
+
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("DBSCAN", DBSCAN),
+            ("DBSCAN++", DBSCANPlusPlus),
+            ("LAF-DBSCAN", LAFDBSCAN),
+            ("LAF-DBSCAN++", LAFDBSCANPlusPlus),
+            ("KNN-BLOCK", KNNBlockDBSCAN),
+            ("BLOCK-DBSCAN", BlockDBSCAN),
+            ("RHO-APPROX", RhoApproxDBSCAN),
+        ],
+    )
+    def test_builds_expected_type(self, ctx_and_data, name, cls):
+        ctx, X = ctx_and_data
+        assert isinstance(build_method(name, ctx, X), cls)
+
+    def test_unknown_name(self, ctx_and_data):
+        ctx, X = ctx_and_data
+        with pytest.raises(InvalidParameterError, match="unknown method"):
+            build_method("OPTICS", ctx, X)
+
+    def test_every_listed_method_builds_and_fits(self, ctx_and_data):
+        ctx, X = ctx_and_data
+        for name in ALL_METHODS:
+            result = build_method(name, ctx, X).fit(X)
+            assert result.labels.shape == (X.shape[0],), name
+
+
+class TestSampleFractionRule:
+    def test_p_override_wins(self, ctx_and_data):
+        _, X = ctx_and_data
+        ctx = MethodContext(eps=0.5, tau=5, p_override=0.42)
+        assert ctx.sample_fraction(X) == pytest.approx(0.42)
+
+    def test_derived_p_is_delta_plus_rc(self, ctx_and_data):
+        _, X = ctx_and_data
+        est = ExactCardinalityEstimator()
+        ctx = MethodContext(eps=0.5, tau=5, estimator=est, delta=0.2)
+        from repro.core import predicted_core_ratio
+
+        expected = min(1.0, 0.2 + predicted_core_ratio(est, X, 0.5, 5, 1.0))
+        assert ctx.sample_fraction(X) == pytest.approx(expected)
+
+    def test_derived_p_cached_for_both_variants(self, ctx_and_data):
+        _, X = ctx_and_data
+        ctx = MethodContext(
+            eps=0.5, tau=5, estimator=ExactCardinalityEstimator(), delta=0.15
+        )
+        p1 = ctx.sample_fraction(X)
+        p2 = ctx.sample_fraction(X)
+        assert p1 == p2
+        plain = build_method("DBSCAN++", ctx, X)
+        laf = build_method("LAF-DBSCAN++", ctx, X)
+        assert plain.p == laf.p == p1
+
+    def test_missing_estimator_raises(self, ctx_and_data):
+        _, X = ctx_and_data
+        ctx = MethodContext(eps=0.5, tau=5)
+        with pytest.raises(InvalidParameterError):
+            ctx.sample_fraction(X)
+        with pytest.raises(InvalidParameterError):
+            build_method("LAF-DBSCAN", ctx, X)
+
+    def test_laf_dbscanpp_alpha_fixed_to_one(self, ctx_and_data):
+        ctx, X = ctx_and_data
+        laf = build_method("LAF-DBSCAN++", ctx, X)
+        assert laf.laf.alpha == 1.0  # even though ctx.alpha = 1.5

@@ -1,0 +1,103 @@
+"""Tests for the reporting helpers."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import format_table, pivot, records_to_rows, save_json
+from repro.experiments.runner import RunRecord
+
+
+def make_record(method="DBSCAN", dataset="MS-50k", ari=1.0, time_s=0.5):
+    return RunRecord(
+        method=method,
+        dataset=dataset,
+        eps=0.5,
+        tau=5,
+        elapsed_seconds=time_s,
+        ari=ari,
+        ami=ari,
+        n_clusters=3,
+        noise_ratio=0.2,
+        stats={},
+    )
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        out = format_table(["a", "b"], [[1, 2], [3, 4]])
+        assert "a" in out and "b" in out
+        assert "1" in out and "4" in out
+
+    def test_title_rendered(self):
+        out = format_table(["x"], [[1]], title="Table 3")
+        assert out.startswith("Table 3")
+        assert "=======" in out
+
+    def test_floats_formatted(self):
+        out = format_table(["v"], [[0.123456789]])
+        assert "0.1235" in out
+
+    def test_column_alignment(self):
+        out = format_table(["method", "t"], [["DBSCAN", 1], ["LAF-DBSCAN++", 2]])
+        lines = out.splitlines()
+        assert len({line.index("  ") for line in lines if "DBSCAN" in line}) >= 1
+
+
+class TestRecordsToRows:
+    def test_default_columns(self):
+        headers, rows = records_to_rows([make_record()])
+        assert "method" in headers
+        assert len(rows) == 1
+
+    def test_column_selection(self):
+        headers, rows = records_to_rows([make_record()], ["method", "ARI"])
+        assert headers == ["method", "ARI"]
+        assert rows[0][0] == "DBSCAN"
+
+    def test_empty(self):
+        headers, rows = records_to_rows([], ["method"])
+        assert rows == []
+
+
+class TestPivot:
+    def test_paper_shape(self):
+        records = [
+            make_record("DBSCAN", "MS-50k", time_s=1.0),
+            make_record("DBSCAN", "MS-100k", time_s=2.0),
+            make_record("LAF-DBSCAN", "MS-50k", time_s=0.5),
+        ]
+        headers, rows = pivot(records, value="time_s")
+        assert headers == ["method", "MS-50k", "MS-100k"]
+        by_method = {row[0]: row[1:] for row in rows}
+        assert by_method["DBSCAN"] == [1.0, 2.0]
+        assert by_method["LAF-DBSCAN"] == [0.5, "-"]  # missing cell
+
+    def test_value_field_selects(self):
+        records = [make_record(ari=0.7)]
+        _, rows = pivot(records, value="ARI")
+        assert rows[0][1] == 0.7
+
+
+class TestSaveJson:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "out" / "data.json")
+        save_json(path, {"rows": [1, 2, 3], "name": "t"})
+        with open(path) as f:
+            data = json.load(f)
+        assert data == {"rows": [1, 2, 3], "name": "t"}
+
+    def test_numpy_types_serialized(self, tmp_path):
+        path = str(tmp_path / "np.json")
+        save_json(
+            path,
+            {"i": np.int64(3), "f": np.float64(0.5), "a": np.arange(3)},
+        )
+        with open(path) as f:
+            data = json.load(f)
+        assert data == {"i": 3, "f": 0.5, "a": [0, 1, 2]}
+
+    def test_unserializable_raises(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_json(str(tmp_path / "bad.json"), {"x": object()})

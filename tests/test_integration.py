@@ -1,0 +1,113 @@
+"""End-to-end integration tests: full paper pipeline at miniature scale.
+
+These run the complete protocol — generate dataset, 8:2 split, train the
+RMI on the training split, cluster the test split with every method,
+score against DBSCAN ground truth — and assert the qualitative claims
+the paper makes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clustering import DBSCAN
+from repro.core import LAFDBSCAN, LAFDBSCANPlusPlus
+from repro.data import load_dataset
+from repro.experiments import MethodContext, run_suite
+from repro.experiments.methods import ALL_METHODS
+from repro.experiments.workloads import clear_cache, prepare_workload
+from repro.metrics import adjusted_mutual_info, adjusted_rand_index
+
+
+@pytest.fixture(scope="module")
+def workload():
+    clear_cache()
+    return prepare_workload(
+        "MS-50k", scale=0.01, seed=0, epochs=30, n_train_queries=250
+    )
+
+
+class TestWorkloadPreparation:
+    def test_split_ratio(self, workload):
+        n = workload.X_train.shape[0] + workload.X_test.shape[0]
+        assert workload.X_train.shape[0] == round(0.8 * n)
+
+    def test_estimator_fitted_on_train(self, workload):
+        assert workload.estimator.training_set_ is not None
+        assert (
+            workload.estimator.training_set_.n_reference
+            == workload.X_train.shape[0]
+        )
+
+    def test_alpha_from_table1(self, workload):
+        assert workload.alpha == 1.5  # MS-50k in Table 1
+
+    def test_memoization(self, workload):
+        again = prepare_workload(
+            "MS-50k", scale=0.01, seed=0, epochs=30, n_train_queries=250
+        )
+        assert again is workload
+
+
+class TestFullPipeline:
+    def test_all_seven_methods_run(self, workload):
+        ctx = MethodContext(
+            eps=0.55,
+            tau=5,
+            alpha=workload.alpha,
+            estimator=workload.estimator,
+            seed=0,
+        )
+        records = run_suite(
+            workload.X_test, ALL_METHODS, ctx, dataset_name="MS-50k"
+        )
+        assert {r.method for r in records} == set(ALL_METHODS)
+        for r in records:
+            assert np.isfinite(r.ari)
+            assert r.elapsed_seconds > 0
+
+    def test_laf_dbscan_quality_above_half(self, workload):
+        gt = DBSCAN(eps=0.55, tau=5).fit(workload.X_test)
+        laf = LAFDBSCAN(
+            eps=0.55,
+            tau=5,
+            estimator=workload.estimator,
+            alpha=workload.alpha,
+            seed=0,
+        ).fit(workload.X_test)
+        ari = adjusted_rand_index(gt.labels, laf.labels)
+        ami = adjusted_mutual_info(gt.labels, laf.labels)
+        assert ari > 0.5, f"LAF-DBSCAN ARI too low: {ari:.3f}"
+        assert ami > 0.5, f"LAF-DBSCAN AMI too low: {ami:.3f}"
+
+    def test_laf_dbscan_skips_queries(self, workload):
+        laf = LAFDBSCAN(
+            eps=0.55,
+            tau=5,
+            estimator=workload.estimator,
+            alpha=workload.alpha,
+            seed=0,
+        ).fit(workload.X_test)
+        n = workload.X_test.shape[0]
+        assert laf.stats["range_queries"] < n
+        assert laf.stats["skipped_queries"] > 0
+
+    def test_laf_dbscanpp_faster_than_dbscanpp_in_queries(self, workload):
+        laf = LAFDBSCANPlusPlus(
+            eps=0.55, tau=5, estimator=workload.estimator, p=0.4, seed=0
+        ).fit(workload.X_test)
+        assert laf.stats["range_queries"] < laf.stats["sample_size"]
+
+
+class TestCrossDatasetGeneralization:
+    """The paper argues a trained estimator transfers to data with a
+    similar distribution; MS datasets share one distribution family."""
+
+    def test_ms50k_estimator_works_on_ms100k(self, workload):
+        other = load_dataset("MS-100k", scale=0.004, seed=1)
+        X = other.X
+        gt = DBSCAN(eps=0.55, tau=5).fit(X)
+        laf = LAFDBSCAN(
+            eps=0.55, tau=5, estimator=workload.estimator, alpha=1.5, seed=0
+        ).fit(X)
+        # Transfer keeps quality above chance by a wide margin.
+        assert adjusted_mutual_info(gt.labels, laf.labels) > 0.3

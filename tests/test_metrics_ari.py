@@ -1,0 +1,100 @@
+"""Tests for Rand index and adjusted Rand index.
+
+Reference values computed by hand from the Hubert & Arabie formula (and
+matching sklearn's adjusted_rand_score).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.metrics import adjusted_rand_index, rand_index
+
+labelings = hnp.arrays(
+    dtype=np.int64, shape=st.integers(2, 40), elements=st.integers(-1, 5)
+)
+
+
+class TestRandIndex:
+    def test_identical(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assert rand_index(labels, labels) == 1.0
+
+    def test_permuted_labels_still_perfect(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([5, 5, 3, 3])
+        assert rand_index(a, b) == 1.0
+
+    def test_known_value(self):
+        # pairs: total C(4,2)=6; agreements counted by hand = 2
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        # same-cluster-in-both pairs: 0; same-in-a: 2; same-in-b: 2
+        # agreements = 6 + 2*0 - 2 - 2 = 2 -> RI = 2/6
+        assert rand_index(a, b) == pytest.approx(2 / 6)
+
+    def test_single_point_convention(self):
+        assert rand_index(np.array([0]), np.array([0])) == 1.0
+
+
+class TestAdjustedRandIndex:
+    def test_identical_partitions(self):
+        labels = np.array([0, 1, 0, 1, 2])
+        assert adjusted_rand_index(labels, labels) == 1.0
+
+    def test_permutation_invariance(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        b = np.array([2, 2, 0, 0, 1, 1])
+        assert adjusted_rand_index(a, b) == 1.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, 60)
+        b = rng.integers(0, 3, 60)
+        assert adjusted_rand_index(a, b) == pytest.approx(adjusted_rand_index(b, a))
+
+    def test_known_value_sklearn_cross_check(self):
+        # sklearn.metrics.adjusted_rand_score([0,0,1,1],[0,0,1,2]) == 0.5714285714...
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 0, 1, 2])
+        assert adjusted_rand_index(a, b) == pytest.approx(0.57142857, abs=1e-8)
+
+    def test_known_negative_value(self):
+        # Adversarial split scores below chance.
+        a = np.array([0, 0, 0, 1, 1, 1])
+        b = np.array([0, 1, 2, 0, 1, 2])
+        assert adjusted_rand_index(a, b) < 0.0
+
+    def test_independent_labelings_near_zero(self):
+        rng = np.random.default_rng(42)
+        a = rng.integers(0, 5, 3000)
+        b = rng.integers(0, 5, 3000)
+        assert abs(adjusted_rand_index(a, b)) < 0.02
+
+    def test_degenerate_all_one_cluster(self):
+        a = np.zeros(10, dtype=int)
+        assert adjusted_rand_index(a, a) == 1.0
+
+    def test_degenerate_all_singletons(self):
+        a = np.arange(10)
+        assert adjusted_rand_index(a, a) == 1.0
+
+    def test_half_split(self):
+        # sklearn.metrics.adjusted_rand_score([0,0,1,1],[0,1,1,1]) == 0.0
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 1, 1])
+        assert adjusted_rand_index(a, b) == pytest.approx(0.0, abs=1e-12)
+
+    @given(labelings)
+    @settings(max_examples=40, deadline=None)
+    def test_self_agreement_is_one(self, labels):
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    @given(labelings, labelings)
+    @settings(max_examples=40, deadline=None)
+    def test_bounded_above_by_one(self, a, b):
+        if a.shape != b.shape:
+            return
+        assert adjusted_rand_index(a, b) <= 1.0 + 1e-9

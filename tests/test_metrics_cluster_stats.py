@@ -1,0 +1,96 @@
+"""Tests for noise ratio, cluster counts and Table 6 missed-cluster stats."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    MissedClusterStats,
+    cluster_sizes,
+    missed_cluster_stats,
+    n_clusters,
+    noise_ratio,
+)
+
+
+class TestNoiseRatio:
+    def test_no_noise(self):
+        assert noise_ratio(np.array([0, 1, 2])) == 0.0
+
+    def test_all_noise(self):
+        assert noise_ratio(np.array([-1, -1])) == 1.0
+
+    def test_fraction(self):
+        assert noise_ratio(np.array([-1, 0, 0, 1])) == 0.25
+
+    def test_empty(self):
+        assert noise_ratio(np.array([], dtype=int)) == 0.0
+
+
+class TestNClusters:
+    def test_counts_distinct_non_noise(self):
+        assert n_clusters(np.array([-1, 0, 0, 3, 7])) == 3
+
+    def test_all_noise_zero(self):
+        assert n_clusters(np.array([-1, -1])) == 0
+
+
+class TestClusterSizes:
+    def test_basic(self):
+        sizes = cluster_sizes(np.array([0, 0, 1, -1, 1, 1]))
+        assert sizes == {0: 2, 1: 3}
+
+    def test_excludes_noise(self):
+        assert -1 not in cluster_sizes(np.array([-1, 0]))
+
+
+class TestMissedClusterStats:
+    def test_nothing_missed(self):
+        gt = np.array([0, 0, 1, 1, -1])
+        pred = np.array([0, 0, 1, 1, -1])
+        stats = missed_cluster_stats(gt, pred)
+        assert stats.missed_clusters == 0
+        assert stats.total_clusters == 2
+        assert stats.missed_points == 0
+        assert stats.total_cluster_points == 4
+        assert stats.avg_missed_cluster_size == 0.0
+        assert stats.missed_point_fraction == 0.0
+
+    def test_one_cluster_fully_missed(self):
+        gt = np.array([0, 0, 0, 1, 1])
+        pred = np.array([-1, -1, -1, 0, 0])  # cluster 0 entirely noise
+        stats = missed_cluster_stats(gt, pred)
+        assert stats.missed_clusters == 1
+        assert stats.missed_points == 3
+        assert stats.avg_missed_cluster_size == 3.0
+        assert stats.missed_point_fraction == pytest.approx(3 / 5)
+
+    def test_partially_lost_cluster_not_missed(self):
+        gt = np.array([0, 0, 0])
+        pred = np.array([-1, -1, 5])  # one survivor -> not fully missed
+        stats = missed_cluster_stats(gt, pred)
+        assert stats.missed_clusters == 0
+
+    def test_renamed_cluster_not_missed(self):
+        gt = np.array([0, 0, 1, 1])
+        pred = np.array([9, 9, 4, 4])
+        assert missed_cluster_stats(gt, pred).missed_clusters == 0
+
+    def test_gt_noise_ignored(self):
+        gt = np.array([-1, -1, 0, 0])
+        pred = np.array([-1, 2, -1, -1])
+        stats = missed_cluster_stats(gt, pred)
+        assert stats.total_clusters == 1
+        assert stats.missed_clusters == 1
+        assert stats.total_cluster_points == 2
+
+    def test_as_row_format(self):
+        stats = MissedClusterStats(
+            missed_clusters=63,
+            total_clusters=92,
+            missed_points=209,
+            total_cluster_points=19358,
+        )
+        row = stats.as_row()
+        assert row["MC/TC"] == "63/92"
+        assert row["MP/TPC"] == "209/19358"
+        assert row["ASMC"] == pytest.approx(3.32, abs=0.01)

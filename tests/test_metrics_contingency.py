@@ -1,0 +1,62 @@
+"""Tests for the contingency matrix."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.metrics import contingency_matrix
+
+
+class TestContingencyMatrix:
+    def test_identical_labelings_diagonal(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        table = contingency_matrix(labels, labels)
+        assert np.array_equal(table, np.diag([2, 2, 1]))
+
+    def test_known_cross_table(self):
+        true = np.array([0, 0, 1, 1])
+        pred = np.array([0, 1, 0, 1])
+        table = contingency_matrix(true, pred)
+        assert np.array_equal(table, [[1, 1], [1, 1]])
+
+    def test_noise_label_is_a_class(self):
+        true = np.array([-1, -1, 0])
+        pred = np.array([0, 0, 0])
+        table = contingency_matrix(true, pred)
+        assert table.shape == (2, 1)
+        assert table[0, 0] == 2  # the -1 row sorts first
+
+    def test_total_preserved(self):
+        rng = np.random.default_rng(0)
+        true = rng.integers(-1, 4, size=100)
+        pred = rng.integers(-1, 6, size=100)
+        assert contingency_matrix(true, pred).sum() == 100
+
+    def test_marginals_match_counts(self):
+        rng = np.random.default_rng(1)
+        true = rng.integers(0, 3, size=50)
+        pred = rng.integers(0, 4, size=50)
+        table = contingency_matrix(true, pred)
+        _, true_counts = np.unique(true, return_counts=True)
+        _, pred_counts = np.unique(pred, return_counts=True)
+        assert np.array_equal(table.sum(axis=1), true_counts)
+        assert np.array_equal(table.sum(axis=0), pred_counts)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(DataValidationError, match="equal length"):
+            contingency_matrix(np.array([1, 2]), np.array([1, 2, 3]))
+
+    def test_2d_raises(self):
+        with pytest.raises(DataValidationError):
+            contingency_matrix(np.ones((2, 2)), np.ones((2, 2)))
+
+    def test_empty_raises(self):
+        with pytest.raises(DataValidationError):
+            contingency_matrix(np.array([]), np.array([]))
+
+    def test_non_contiguous_label_values(self):
+        true = np.array([10, 10, 99])
+        pred = np.array([-5, 7, 7])
+        table = contingency_matrix(true, pred)
+        assert table.shape == (2, 2)
+        assert table.sum() == 3

@@ -1,0 +1,205 @@
+"""Tests for MI / NMI / EMI / AMI.
+
+Reference values hand-computed from Vinh et al. (2010) and cross-checked
+against sklearn's mutual_info_score / adjusted_mutual_info_score
+(arithmetic averaging) on a machine where sklearn was available.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import InvalidParameterError
+from repro.metrics import (
+    adjusted_mutual_info,
+    contingency_matrix,
+    entropy,
+    expected_mutual_information,
+    mutual_information,
+    normalized_mutual_info,
+)
+
+labelings = hnp.arrays(
+    dtype=np.int64, shape=st.integers(2, 30), elements=st.integers(-1, 4)
+)
+
+
+class TestEntropy:
+    def test_uniform_two_classes(self):
+        assert entropy(np.array([0, 1])) == pytest.approx(np.log(2))
+
+    def test_single_class_zero(self):
+        assert entropy(np.zeros(5, dtype=int)) == 0.0
+
+    def test_empty_is_zero(self):
+        assert entropy(np.array([], dtype=int)) == 0.0
+
+    def test_known_value(self):
+        # p = (0.25, 0.75)
+        labels = np.array([0, 1, 1, 1])
+        expected = -(0.25 * np.log(0.25) + 0.75 * np.log(0.75))
+        assert entropy(labels) == pytest.approx(expected)
+
+    def test_permutation_invariant(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 4, 50)
+        assert entropy(labels) == pytest.approx(entropy(labels[::-1]))
+
+
+class TestMutualInformation:
+    def test_identical_equals_entropy(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        assert mutual_information(labels, labels) == pytest.approx(entropy(labels))
+
+    def test_independent_blocks_zero(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        assert mutual_information(a, b) == pytest.approx(0.0, abs=1e-12)
+
+    def test_known_value(self):
+        # Hand-computed: MI([0,0,1,1],[0,0,1,2]) = ln 2 (three cells, each
+        # contributing a multiple of ln 2).
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 0, 1, 2])
+        assert mutual_information(a, b) == pytest.approx(np.log(2), abs=1e-12)
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            a = rng.integers(0, 3, 30)
+            b = rng.integers(0, 3, 30)
+            assert mutual_information(a, b) >= 0.0
+
+    def test_bounded_by_min_entropy(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 3, 40)
+        b = rng.integers(0, 5, 40)
+        assert mutual_information(a, b) <= min(entropy(a), entropy(b)) + 1e-9
+
+
+class TestExpectedMutualInformation:
+    def test_trivial_table(self):
+        table = contingency_matrix(np.zeros(4, dtype=int), np.zeros(4, dtype=int))
+        assert expected_mutual_information(table) == pytest.approx(0.0, abs=1e-12)
+
+    def test_known_value(self):
+        # Hand-computed via the hypergeometric model:
+        # 2 * (ln2/2) * 1/6 + 4 * (ln2/4) * 1/2 = (2/3) ln 2 = 0.4620981...
+        table = contingency_matrix(np.array([0, 0, 1, 1]), np.array([0, 0, 1, 2]))
+        assert expected_mutual_information(table) == pytest.approx(
+            (2 / 3) * np.log(2), abs=1e-12
+        )
+
+    def test_matches_exact_permutation_enumeration(self):
+        # EMI is the mean MI over all permutations of one labeling with
+        # fixed marginals; for n <= 6 we can enumerate exactly.
+        import itertools
+
+        a = np.array([0, 0, 1, 1, 2])
+        b = np.array([0, 1, 1, 2, 2])
+        table = contingency_matrix(a, b)
+        enumerated = np.mean(
+            [
+                mutual_information(a, np.array(perm))
+                for perm in itertools.permutations(b.tolist())
+            ]
+        )
+        assert expected_mutual_information(table) == pytest.approx(
+            float(enumerated), abs=1e-10
+        )
+
+    def test_empty_table(self):
+        assert expected_mutual_information(np.zeros((2, 2), dtype=int)) == 0.0
+
+    def test_emi_below_max_entropy(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 4, 60)
+        b = rng.integers(0, 4, 60)
+        table = contingency_matrix(a, b)
+        assert expected_mutual_information(table) <= max(entropy(a), entropy(b)) + 1e-9
+
+
+class TestNormalizedMutualInfo:
+    def test_identical(self):
+        labels = np.array([0, 0, 1, 2, 2])
+        assert normalized_mutual_info(labels, labels) == pytest.approx(1.0)
+
+    def test_independent_zero(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        assert normalized_mutual_info(a, b) == pytest.approx(0.0, abs=1e-12)
+
+    def test_known_value(self):
+        # Hand-computed: MI = ln2, H(a) = ln2, H(b) = (3/2) ln 2, so
+        # NMI_arith = ln2 / ((ln2 + 1.5 ln2)/2) = 0.8 exactly.
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 0, 1, 2])
+        assert normalized_mutual_info(a, b) == pytest.approx(0.8, abs=1e-12)
+
+    def test_average_methods_ordering(self):
+        a = np.array([0, 0, 1, 1, 2])
+        b = np.array([0, 0, 1, 1, 1])
+        values = {
+            m: normalized_mutual_info(a, b, average_method=m)
+            for m in ("min", "geometric", "arithmetic", "max")
+        }
+        assert values["min"] >= values["geometric"] >= values["arithmetic"] >= values["max"]
+
+    def test_invalid_average_method(self):
+        with pytest.raises(InvalidParameterError):
+            normalized_mutual_info(np.array([0, 1]), np.array([0, 1]), average_method="median")
+
+
+class TestAdjustedMutualInfo:
+    def test_identical(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assert adjusted_mutual_info(labels, labels) == pytest.approx(1.0)
+
+    def test_permutation_invariance(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        b = np.array([1, 1, 2, 2, 0, 0])
+        assert adjusted_mutual_info(a, b) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # Hand-computed: (MI - EMI)/(meanH - EMI)
+        # = (ln2 - (2/3)ln2) / ((5/4)ln2 - (2/3)ln2) = (1/3)/(7/12) = 4/7.
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 0, 1, 2])
+        assert adjusted_mutual_info(a, b) == pytest.approx(4 / 7, abs=1e-12)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(4)
+        a = rng.integers(0, 4, 50)
+        b = rng.integers(0, 3, 50)
+        assert adjusted_mutual_info(a, b) == pytest.approx(
+            adjusted_mutual_info(b, a), abs=1e-9
+        )
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(5)
+        a = rng.integers(0, 5, 2000)
+        b = rng.integers(0, 5, 2000)
+        assert abs(adjusted_mutual_info(a, b)) < 0.02
+
+    def test_degenerate_both_trivial(self):
+        assert adjusted_mutual_info(np.zeros(6, dtype=int), np.zeros(6, dtype=int)) == 1.0
+        assert adjusted_mutual_info(np.arange(6), np.arange(6)) == 1.0
+
+    def test_one_trivial_one_not(self):
+        a = np.zeros(6, dtype=int)
+        b = np.array([0, 0, 0, 1, 1, 1])
+        assert adjusted_mutual_info(a, b) == pytest.approx(0.0, abs=1e-9)
+
+    @given(labelings)
+    @settings(max_examples=30, deadline=None)
+    def test_self_agreement(self, labels):
+        assert adjusted_mutual_info(labels, labels) == pytest.approx(1.0, abs=1e-9)
+
+    @given(labelings, labelings)
+    @settings(max_examples=30, deadline=None)
+    def test_bounded_above(self, a, b):
+        if a.shape != b.shape:
+            return
+        assert adjusted_mutual_info(a, b) <= 1.0 + 1e-9

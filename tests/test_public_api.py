@@ -1,0 +1,115 @@
+"""Contract tests for the top-level public API.
+
+A downstream user should be able to rely on ``repro``'s exports and the
+documented object protocols without importing submodules.
+"""
+
+import inspect
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_clusterers_exported(self):
+        for name in (
+            "DBSCAN",
+            "DBSCANPlusPlus",
+            "KNNBlockDBSCAN",
+            "BlockDBSCAN",
+            "RhoApproxDBSCAN",
+            "LAFDBSCAN",
+            "LAFDBSCANPlusPlus",
+        ):
+            assert inspect.isclass(getattr(repro, name))
+
+    def test_estimators_exported(self):
+        for name in (
+            "RMICardinalityEstimator",
+            "MLPRegressor",
+            "ExactCardinalityEstimator",
+            "SamplingCardinalityEstimator",
+            "KDECardinalityEstimator",
+            "RadialHistogramEstimator",
+        ):
+            assert inspect.isclass(getattr(repro, name))
+
+    def test_metrics_exported(self):
+        labels = np.array([0, 0, 1, 1])
+        assert repro.adjusted_rand_index(labels, labels) == 1.0
+        assert repro.adjusted_mutual_info(labels, labels) == 1.0
+        assert repro.noise_ratio(np.array([-1, 0])) == 0.5
+
+    def test_exception_hierarchy(self):
+        assert issubclass(repro.InvalidParameterError, repro.ReproError)
+        assert issubclass(repro.DataValidationError, repro.ReproError)
+        assert issubclass(repro.NotFittedError, repro.ReproError)
+        assert issubclass(repro.InvalidParameterError, ValueError)
+        assert issubclass(repro.NotFittedError, RuntimeError)
+
+
+class TestClustererProtocol:
+    """Every exported clusterer honors the Clusterer contract."""
+
+    def _instances(self):
+        oracle = repro.ExactCardinalityEstimator()
+        yield repro.DBSCAN(eps=0.5, tau=3)
+        yield repro.DBSCANPlusPlus(eps=0.5, tau=3, p=0.5, seed=0)
+        yield repro.KNNBlockDBSCAN(eps=0.5, tau=3, seed=0)
+        yield repro.BlockDBSCAN(eps=0.5, tau=3)
+        yield repro.RhoApproxDBSCAN(eps=0.5, tau=3, rho=0.5)
+        yield repro.LAFDBSCAN(eps=0.5, tau=3, estimator=oracle)
+        yield repro.LAFDBSCANPlusPlus(eps=0.5, tau=3, estimator=oracle, p=0.5)
+
+    def test_fit_returns_clustering_result(self, unit_vectors_small):
+        for clusterer in self._instances():
+            result = clusterer.fit(unit_vectors_small)
+            assert isinstance(result, repro.ClusteringResult), type(clusterer)
+            assert result.labels.shape == (unit_vectors_small.shape[0],)
+            assert result.labels.dtype == np.int64
+
+    def test_labels_are_canonical_and_bounded(self, unit_vectors_small):
+        for clusterer in self._instances():
+            result = clusterer.fit(unit_vectors_small)
+            labels = result.labels
+            assert labels.min() >= -1
+            non_noise = np.unique(labels[labels >= 0])
+            assert list(non_noise) == list(range(len(non_noise))), type(clusterer)
+
+    def test_fit_predict_shortcut(self, unit_vectors_small):
+        labels = repro.DBSCAN(eps=0.5, tau=3).fit_predict(unit_vectors_small)
+        assert labels.shape == (unit_vectors_small.shape[0],)
+
+
+class TestDocstrings:
+    """Every public class and function carries a docstring."""
+
+    def test_public_objects_documented(self):
+        undocumented = [
+            name
+            for name in repro.__all__
+            if name != "__version__"
+            and not (getattr(repro, name).__doc__ or "").strip()
+        ]
+        assert not undocumented, f"missing docstrings: {undocumented}"
+
+    def test_public_modules_documented(self):
+        import importlib
+        import pkgutil
+
+        missing = []
+        package = importlib.import_module("repro")
+        for info in pkgutil.walk_packages(package.__path__, prefix="repro."):
+            module = importlib.import_module(info.name)
+            if not (module.__doc__ or "").strip():
+                missing.append(info.name)
+        assert not missing, f"modules without docstrings: {missing}"

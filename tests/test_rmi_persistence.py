@@ -1,0 +1,101 @@
+"""Tests for RMI save/load and the components helper."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.components import connected_components_within
+from repro.distances import normalize_rows
+from repro.estimators import RMICardinalityEstimator
+from repro.exceptions import NotFittedError
+
+from conftest import make_blobs_on_sphere
+
+
+class TestRMIPersistence:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        X, _ = make_blobs_on_sphere(40, 2, 12, spread=0.4, seed=0)
+        est = RMICardinalityEstimator(
+            hidden_layers=(16, 8), epochs=10, n_train_queries=60, seed=0
+        ).fit(X)
+        return est, X
+
+    def test_round_trip_predictions_identical(self, fitted, tmp_path):
+        est, X = fitted
+        path = str(tmp_path / "rmi.npz")
+        est.save(path)
+        loaded = RMICardinalityEstimator.load(path)
+        est.bind(X)
+        loaded.bind(X)
+        assert np.allclose(
+            est.estimate_many(X[:15], 0.5), loaded.estimate_many(X[:15], 0.5)
+        )
+
+    def test_round_trip_architecture(self, fitted, tmp_path):
+        est, X = fitted
+        path = str(tmp_path / "rmi.npz")
+        est.save(path)
+        loaded = RMICardinalityEstimator.load(path)
+        assert loaded.stages == est.stages
+        assert loaded.hidden_layers == est.hidden_layers
+
+    def test_loaded_transfers_to_other_data(self, fitted, tmp_path):
+        # The paper's transfer argument: reuse on similar distributions.
+        est, X = fitted
+        path = str(tmp_path / "rmi.npz")
+        est.save(path)
+        loaded = RMICardinalityEstimator.load(path)
+        other, _ = make_blobs_on_sphere(30, 2, 12, spread=0.4, seed=9)
+        loaded.bind(other)
+        counts = loaded.estimate_many(other[:5], 0.5)
+        assert counts.shape == (5,)
+        assert np.isfinite(counts).all()
+
+    def test_save_unfitted_raises(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            RMICardinalityEstimator().save(str(tmp_path / "x.npz"))
+
+
+class TestConnectedComponentsWithin:
+    def test_two_far_groups(self):
+        rng = np.random.default_rng(0)
+        a = normalize_rows(np.array([1.0, 0.0, 0.0]) + 0.01 * rng.normal(size=(5, 3)))
+        b = normalize_rows(np.array([-1.0, 0.0, 0.0]) + 0.01 * rng.normal(size=(5, 3)))
+        labels = connected_components_within(np.vstack([a, b]), eps=0.5)
+        assert len(set(labels[:5].tolist())) == 1
+        assert len(set(labels[5:].tolist())) == 1
+        assert labels[0] != labels[5]
+
+    def test_chain_connectivity(self):
+        # Points on a great-circle arc, each within eps of its neighbor
+        # but not of the far end: one chained component.
+        angles = np.linspace(0.0, 1.2, 7)
+        X = np.stack([np.cos(angles), np.sin(angles)], axis=1)
+        step_gap = 1.0 - np.cos(angles[1] - angles[0])
+        end_gap = 1.0 - np.cos(angles[-1] - angles[0])
+        eps = step_gap * 1.5
+        assert eps < end_gap
+        labels = connected_components_within(X, eps=eps)
+        assert len(set(labels.tolist())) == 1
+
+    def test_all_singletons(self):
+        X = np.eye(4)
+        labels = connected_components_within(X, eps=0.5)
+        assert len(set(labels.tolist())) == 4
+
+    def test_matches_naive_union_find(self):
+        from repro.clustering import UnionFind
+
+        rng = np.random.default_rng(3)
+        X = normalize_rows(rng.normal(size=(40, 6)))
+        eps = 0.6
+        fast = connected_components_within(X, eps)
+        uf = UnionFind(40)
+        dists = 1.0 - X @ X.T
+        for i in range(40):
+            for j in range(i + 1, 40):
+                if dists[i, j] < eps:
+                    uf.union(i, j)
+        for i in range(40):
+            for j in range(40):
+                assert (fast[i] == fast[j]) == uf.connected(i, j)
