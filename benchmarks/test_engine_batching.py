@@ -1,0 +1,97 @@
+"""Micro-benchmark: batched vs per-point brute-force neighborhood computation.
+
+Measures the engine's headline claim — that computing every point's
+eps-neighborhood through blocked ``batch_range_query`` matrix products
+beats the per-point ``range_query`` Python loop — and writes the speedup
+rows to ``benchmarks/out/engine_batching.json``. Also times the two
+DBSCAN paths end to end, since the neighborhood loop is DBSCAN's
+dominant cost.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+from conftest import out_path
+
+from repro.clustering import DBSCAN
+from repro.distances import normalize_rows
+from repro.experiments.reporting import save_json
+from repro.index import BruteForceIndex
+from repro.testing import make_blobs_on_sphere
+
+EPS = 0.5
+TAU = 5
+REPEATS = 3
+
+
+def _dataset(n: int, dim: int = 256, seed: int = 0) -> np.ndarray:
+    """Blobs + noise at the paper's high-dimensional scale (d >= 200)."""
+    X, _ = make_blobs_on_sphere(n // 4, 3, dim, spread=0.15, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    noise = normalize_rows(rng.normal(size=(n - X.shape[0], dim)))
+    return np.vstack([X, noise])
+
+
+def _best_of(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _neighborhoods_scalar(index: BruteForceIndex, X: np.ndarray) -> None:
+    for i in range(X.shape[0]):
+        index.range_query(X[i], EPS)
+
+
+def _neighborhoods_batched(index: BruteForceIndex, X: np.ndarray) -> None:
+    index.batch_range_query(X, EPS)
+
+
+@pytest.mark.parametrize("n", [2000, 8000])
+def test_engine_batching_speedup(n):
+    X = _dataset(n)
+    index = BruteForceIndex().build(X)
+
+    t_scalar = _best_of(lambda: _neighborhoods_scalar(index, X))
+    t_batched = _best_of(lambda: _neighborhoods_batched(index, X))
+    query_speedup = t_scalar / t_batched
+
+    t_fit_scalar = _best_of(
+        lambda: DBSCAN(eps=EPS, tau=TAU, batch_queries=False).fit(X), repeats=1
+    )
+    t_fit_batched = _best_of(
+        lambda: DBSCAN(eps=EPS, tau=TAU, batch_queries=True).fit(X), repeats=1
+    )
+    fit_speedup = t_fit_scalar / t_fit_batched
+
+    rows = [
+        {
+            "n": n,
+            "dim": int(X.shape[1]),
+            "eps": EPS,
+            "scalar_query_s": t_scalar,
+            "batched_query_s": t_batched,
+            "query_speedup": query_speedup,
+            "scalar_fit_s": t_fit_scalar,
+            "batched_fit_s": t_fit_batched,
+            "fit_speedup": fit_speedup,
+        }
+    ]
+    print()
+    print(
+        f"n={n}: neighborhoods {t_scalar:.3f}s -> {t_batched:.3f}s "
+        f"({query_speedup:.1f}x); DBSCAN fit {t_fit_scalar:.3f}s -> "
+        f"{t_fit_batched:.3f}s ({fit_speedup:.1f}x)"
+    )
+    save_json(out_path(f"engine_batching_n{n}.json"), {"rows": rows})
+
+    # Acceptance criterion: >= 3x at n = 8000 (be lenient at the small
+    # size, where fixed overheads dominate).
+    if n >= 8000:
+        assert query_speedup >= 3.0, f"batched speedup only {query_speedup:.2f}x"

@@ -38,6 +38,7 @@ from repro.distances import (
 )
 from repro.exceptions import InvalidParameterError
 from repro.index.cover_tree import CoverTree
+from repro.index.engine import NeighborhoodCache
 
 __all__ = ["BlockDBSCAN"]
 
@@ -54,19 +55,43 @@ class BlockDBSCAN(Clusterer):
     rnt:
         Maximum iterations when approximating the minimum distance
         between two inner core blocks (paper default 10).
+    batch_queries:
+        When True (default), seed queries route through the shared
+        engine seam (:class:`~repro.index.engine.NeighborhoodCache`).
+        Which seeds get queried depends on earlier balls (visited
+        members are skipped), so nothing is planned ahead and the
+        cover-tree backend answers per point either way: today the seam
+        only buys uniform engine statistics and becomes a real batch
+        path the day the cover tree grows a vectorized
+        ``batch_range_query``. The algorithm itself visits each seed at
+        most once, so no query repeats on either path.
     """
 
-    def __init__(self, eps: float, tau: int, base: float = 2.0, rnt: int = 10) -> None:
+    def __init__(
+        self,
+        eps: float,
+        tau: int,
+        base: float = 2.0,
+        rnt: int = 10,
+        batch_queries: bool = True,
+    ) -> None:
         super().__init__(eps, tau)
         if rnt < 1:
             raise InvalidParameterError(f"rnt must be >= 1; got {rnt}")
         self.base = float(base)
         self.rnt = int(rnt)
+        self.batch_queries = bool(batch_queries)
 
     def fit(self, X: np.ndarray) -> ClusteringResult:
         X = check_unit_norm(X)
         n = X.shape[0]
         tree = CoverTree(base=self.base).build(X)
+        engine: NeighborhoodCache | None = None
+        if self.batch_queries:
+            engine = NeighborhoodCache(tree, X, self.eps, evict_on_fetch=True)
+            fetch = engine.fetch
+        else:
+            fetch = lambda p: tree.range_query(X[p], self.eps)  # noqa: E731
         # Cosine threshold whose Euclidean equivalent is half the radius.
         half_eps_cos = self.eps / 4.0
         r_e = euclidean_from_cosine(self.eps)
@@ -84,7 +109,7 @@ class BlockDBSCAN(Clusterer):
             # One full-radius query per seed; the half-radius ball is the
             # distance-filtered subset (same information as the original
             # half-then-full query pair, at half the tree traversals).
-            neighbors = tree.range_query(X[p], self.eps)
+            neighbors = fetch(p)
             n_range_queries += 1
             ball = neighbors[
                 1.0 - X[neighbors] @ X[p] < half_eps_cos
@@ -105,14 +130,17 @@ class BlockDBSCAN(Clusterer):
                 unit_of_point[p] = unit_id
 
         labels = self._merge_and_assign(X, core_mask, unit_of_point, blocks, r_e)
+        stats: dict[str, int | float] = {
+            "range_queries": n_range_queries,
+            "n_core": int(core_mask.sum()),
+            "n_blocks": len(blocks),
+        }
+        if engine is not None:
+            stats.update(engine.stats())
         return ClusteringResult(
             labels=canonicalize_labels(labels),
             core_mask=core_mask,
-            stats={
-                "range_queries": n_range_queries,
-                "n_core": int(core_mask.sum()),
-                "n_blocks": len(blocks),
-            },
+            stats=stats,
         )
 
     # ------------------------------------------------------------------

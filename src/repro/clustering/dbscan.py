@@ -16,6 +16,7 @@ from repro.clustering.base import NOISE, Clusterer, ClusteringResult, canonicali
 from repro.distances.metric import COSINE, Metric
 from repro.index.base import NeighborIndex
 from repro.index.brute_force import BruteForceIndex
+from repro.index.engine import NeighborhoodCache
 
 __all__ = ["DBSCAN"]
 
@@ -38,6 +39,13 @@ class DBSCAN(Clusterer):
         force in the chosen metric.
     metric:
         "cosine" (default) or "euclidean" — the future-work extension.
+    batch_queries:
+        When True (default), neighborhoods are computed through the
+        batched engine (:class:`~repro.index.engine.NeighborhoodCache`):
+        plain DBSCAN queries every point exactly once, so all ``n``
+        queries are planned up front and executed as blocked matrix
+        products instead of a per-point Python loop. The clustering is
+        identical either way; False keeps the per-point reference path.
 
     Examples
     --------
@@ -54,9 +62,11 @@ class DBSCAN(Clusterer):
         tau: int,
         index_factory: Callable[[], NeighborIndex] | None = None,
         metric: str | Metric = COSINE,
+        batch_queries: bool = True,
     ) -> None:
         super().__init__(eps, tau, metric=metric)
         self.index_factory = index_factory
+        self.batch_queries = bool(batch_queries)
 
     def _build_index(self, X: np.ndarray) -> NeighborIndex:
         if self.index_factory is None:
@@ -67,6 +77,18 @@ class DBSCAN(Clusterer):
         X = self.metric.validate(X)
         n = X.shape[0]
         index = self._build_index(X)
+        engine: NeighborhoodCache | None = None
+        if self.batch_queries:
+            # Every point's range query executes exactly once (in the
+            # outer loop or at its dequeue), so the full visit order is a
+            # safe prefetch plan: nothing speculative is ever computed.
+            # Each point is fetched exactly once, so serve-and-release
+            # keeps resident memory to the prefetched-but-unserved tail.
+            engine = NeighborhoodCache(index, X, self.eps, evict_on_fetch=True)
+            engine.plan(np.arange(n))
+            fetch = engine.fetch
+        else:
+            fetch = lambda p: index.range_query(X[p], self.eps)  # noqa: E731
         labels = np.full(n, UNDEFINED, dtype=np.int64)
         core_mask = np.zeros(n, dtype=bool)
         # Queue dedup: enqueueing a point twice is a semantic no-op (its
@@ -78,7 +100,7 @@ class DBSCAN(Clusterer):
         for p in range(n):
             if labels[p] != UNDEFINED:
                 continue
-            neighbors = index.range_query(X[p], self.eps)
+            neighbors = fetch(p)
             n_range_queries += 1
             if neighbors.size < self.tau:
                 labels[p] = NOISE
@@ -98,7 +120,7 @@ class DBSCAN(Clusterer):
                 if labels[q] != UNDEFINED:
                     continue
                 labels[q] = cluster_id
-                q_neighbors = index.range_query(X[q], self.eps)
+                q_neighbors = fetch(q)
                 n_range_queries += 1
                 if q_neighbors.size >= self.tau:
                     core_mask[q] = True
@@ -106,8 +128,11 @@ class DBSCAN(Clusterer):
                     enqueued[fresh] = True
                     queue.extend(fresh.tolist())
 
+        stats: dict[str, int | float] = {"range_queries": n_range_queries}
+        if engine is not None:
+            stats.update(engine.stats())
         return ClusteringResult(
             labels=canonicalize_labels(labels),
             core_mask=core_mask,
-            stats={"range_queries": n_range_queries},
+            stats=stats,
         )

@@ -46,6 +46,10 @@ class DBSCANPlusPlus(Clusterer):
         point is absorbed by its closest core point.
     seed:
         Sampling seed.
+    batch_queries:
+        When True (default), the per-sample core test runs through the
+        index's blocked ``batch_range_count``; False keeps the per-point
+        reference loop. Identical output either way.
     """
 
     def __init__(
@@ -56,6 +60,7 @@ class DBSCANPlusPlus(Clusterer):
         init: str = "uniform",
         assign_within_eps: bool = True,
         seed: int | np.random.Generator | None = 0,
+        batch_queries: bool = True,
     ) -> None:
         super().__init__(eps, tau)
         if not 0.0 < p <= 1.0:
@@ -67,6 +72,7 @@ class DBSCANPlusPlus(Clusterer):
         self.p = float(p)
         self.init = init
         self.assign_within_eps = bool(assign_within_eps)
+        self.batch_queries = bool(batch_queries)
         self._rng = ensure_rng(seed)
 
     # ------------------------------------------------------------------
@@ -103,7 +109,14 @@ class DBSCANPlusPlus(Clusterer):
         sample = self._sample_indices(X)
 
         # Core detection within the sample, counted against the full set.
-        counts = index.range_count_many(X[sample], self.eps)
+        if self.batch_queries:
+            counts = index.batch_range_count(X[sample], self.eps)
+        else:
+            counts = np.fromiter(
+                (index.range_count(X[s], self.eps) for s in sample),
+                dtype=np.int64,
+                count=sample.size,
+            )
         core_sample = sample[counts >= self.tau]
         stats = {
             "range_queries": int(sample.size),

@@ -45,13 +45,21 @@ class RhoApproxDBSCAN(Clusterer):
         Approximation factor (> 0). The paper sets 1.0 in its evaluation
         (after finding the 0.001-0.1 range of the original work too slow
         in high dimensions).
+    batch_queries:
+        When True (default), the rule-2 approximate counts and the
+        border attachment queries run through the grid's batched forms,
+        which compute the cell-center distance matrix blockwise instead
+        of per point. Identical output either way.
     """
 
-    def __init__(self, eps: float, tau: int, rho: float = 1.0) -> None:
+    def __init__(
+        self, eps: float, tau: int, rho: float = 1.0, batch_queries: bool = True
+    ) -> None:
         super().__init__(eps, tau)
         if rho <= 0:
             raise InvalidParameterError(f"rho must be positive; got {rho}")
         self.rho = float(rho)
+        self.batch_queries = bool(batch_queries)
 
     def fit(self, X: np.ndarray) -> ClusteringResult:
         X = check_unit_norm(X)
@@ -67,10 +75,18 @@ class RhoApproxDBSCAN(Clusterer):
         for cell in np.flatnonzero(sizes >= self.tau):
             core_mask[grid.cell_points[cell]] = True
         # Rule 2: everyone else gets an approximate count.
-        for p in np.flatnonzero(~core_mask):
-            n_count_queries += 1
-            if grid.approx_range_count(X[p]) >= self.tau:
-                core_mask[p] = True
+        candidates = np.flatnonzero(~core_mask)
+        n_count_queries += int(candidates.size)
+        if candidates.size:
+            if self.batch_queries:
+                counts = grid.batch_approx_range_count(X[candidates])
+            else:
+                counts = np.fromiter(
+                    (grid.approx_range_count(X[p]) for p in candidates),
+                    dtype=np.int64,
+                    count=candidates.size,
+                )
+            core_mask[candidates[counts >= self.tau]] = True
 
         labels = np.full(n, NOISE, dtype=np.int64)
         core_cells = [
@@ -123,11 +139,16 @@ class RhoApproxDBSCAN(Clusterer):
             cluster = uf.find(cell_rank[cell])
             labels[core_members[cell]] = cluster
         # Borders: any core point within eps adopts the point.
-        for p in np.flatnonzero(~core_mask):
-            neighbors = grid.exact_range_query(X[p])
-            core_neighbors = neighbors[core_mask[neighbors]]
-            if core_neighbors.size:
-                labels[p] = labels[core_neighbors[0]]
+        border_candidates = np.flatnonzero(~core_mask)
+        if border_candidates.size:
+            if self.batch_queries:
+                neighbor_lists = grid.batch_range_query(X[border_candidates])
+            else:
+                neighbor_lists = [grid.exact_range_query(X[p]) for p in border_candidates]
+            for p, neighbors in zip(border_candidates.tolist(), neighbor_lists):
+                core_neighbors = neighbors[core_mask[neighbors]]
+                if core_neighbors.size:
+                    labels[p] = labels[core_neighbors[0]]
         return labels
 
     def _cells_connected(

@@ -31,6 +31,7 @@ from repro.distances.metric import COSINE, Metric
 from repro.estimators.base import CardinalityEstimator
 from repro.index.base import NeighborIndex
 from repro.index.brute_force import BruteForceIndex
+from repro.index.engine import NeighborhoodCache
 
 __all__ = ["LAFDBSCAN"]
 
@@ -56,6 +57,15 @@ class LAFDBSCAN(Clusterer):
         Range-query index (default exact brute force, as in the paper).
     seed:
         Seed for the post-processing destination choice.
+    batch_queries:
+        When True (default), the executed range queries go through the
+        batched engine: exactly the predicted-core points are planned
+        (each is queried once by Algorithm 1, no more, no fewer), so the
+        gate's savings are preserved while the surviving queries run as
+        blocked matrix products. ``UpdatePartialNeighbors`` still fires
+        per executed query at its Algorithm 1 line, so the map ``E`` —
+        and therefore post-processing — is identical to the per-point
+        path.
 
     Examples
     --------
@@ -78,6 +88,7 @@ class LAFDBSCAN(Clusterer):
         index_factory: Callable[[], NeighborIndex] | None = None,
         metric: str | Metric = COSINE,
         seed: int | np.random.Generator | None = 0,
+        batch_queries: bool = True,
     ) -> None:
         super().__init__(eps, tau, metric=metric)
         self.laf = LAF(
@@ -87,6 +98,7 @@ class LAFDBSCAN(Clusterer):
             seed=seed,
         )
         self.index_factory = index_factory
+        self.batch_queries = bool(batch_queries)
 
     def _build_index(self, X: np.ndarray) -> NeighborIndex:
         if self.index_factory is None:
@@ -99,6 +111,18 @@ class LAFDBSCAN(Clusterer):
         index = self._build_index(X)
         predicted_core = self.laf.begin_run(X, self.eps, self.tau)  # the CardEst gate
         E = self.laf.partial_neighbors
+
+        engine: NeighborhoodCache | None = None
+        if self.batch_queries:
+            # Algorithm 1 executes exactly one range query per
+            # predicted-core point, so those are the plan; predicted stop
+            # points are never planned and never computed, keeping the
+            # gate's skipped-query savings intact.
+            engine = NeighborhoodCache(index, X, self.eps, evict_on_fetch=True)
+            engine.plan(np.flatnonzero(predicted_core))
+            fetch = engine.fetch
+        else:
+            fetch = lambda p: index.range_query(X[p], self.eps)  # noqa: E731
 
         labels = np.full(n, UNDEFINED, dtype=np.int64)  # line 3
         core_mask = np.zeros(n, dtype=bool)
@@ -117,7 +141,7 @@ class LAFDBSCAN(Clusterer):
                 E.register_stop_point(p)  # line 8
                 n_skipped += 1
                 continue  # line 9
-            neighbors = index.range_query(X[p], self.eps)  # line 10
+            neighbors = fetch(p)  # line 10
             n_range_queries += 1
             E.update(p, neighbors)  # line 11
             if neighbors.size < self.tau:  # line 12 (false positive)
@@ -138,7 +162,7 @@ class LAFDBSCAN(Clusterer):
                     continue
                 labels[q] = cluster_id  # line 21
                 if predicted_core[q]:  # line 22: CardEst(Q) >= alpha * tau
-                    q_neighbors = index.range_query(X[q], self.eps)  # line 23
+                    q_neighbors = fetch(q)  # line 23
                     n_range_queries += 1
                     E.update(q, q_neighbors)  # line 24
                     if q_neighbors.size >= self.tau:  # line 25
@@ -158,6 +182,8 @@ class LAFDBSCAN(Clusterer):
             "merges": outcome.n_merges,
         }
         stats.update(self.laf.stats())
+        if engine is not None:
+            stats.update(engine.stats())
         return ClusteringResult(
             labels=canonicalize_labels(outcome.labels),
             core_mask=core_mask,

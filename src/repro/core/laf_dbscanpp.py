@@ -27,6 +27,7 @@ from repro.core.laf import LAF
 from repro.estimators.base import CardinalityEstimator
 from repro.exceptions import InvalidParameterError
 from repro.index.brute_force import BruteForceIndex
+from repro.index.engine import NeighborhoodCache
 from repro.rng import ensure_rng
 
 __all__ = ["LAFDBSCANPlusPlus"]
@@ -50,6 +51,15 @@ class LAFDBSCANPlusPlus(Clusterer):
         Same border semantics switch as the DBSCAN++ baseline.
     seed:
         Sampling and post-processing seed.
+    batch_queries:
+        When True (default), the range queries that survive the gate run
+        through the batched engine
+        (:class:`~repro.index.engine.NeighborhoodCache` with the gated
+        sample as the plan, serve-and-release). Every gated sample point
+        is queried exactly once either way, and
+        ``UpdatePartialNeighbors`` receives each executed result in the
+        same sample order, so the output is identical to the per-point
+        path.
     """
 
     def __init__(
@@ -62,12 +72,14 @@ class LAFDBSCANPlusPlus(Clusterer):
         enable_post_processing: bool = True,
         assign_within_eps: bool = True,
         seed: int | np.random.Generator | None = 0,
+        batch_queries: bool = True,
     ) -> None:
         super().__init__(eps, tau)
         if not 0.0 < p <= 1.0:
             raise InvalidParameterError(f"sample fraction p must lie in (0, 1]; got {p}")
         self.p = float(p)
         self.assign_within_eps = bool(assign_within_eps)
+        self.batch_queries = bool(batch_queries)
         self._rng = ensure_rng(seed)
         self.laf = LAF(
             estimator,
@@ -91,10 +103,22 @@ class LAFDBSCANPlusPlus(Clusterer):
         skipped = sample[~predicted_core[sample]]
         for s in skipped.tolist():
             E.register_stop_point(s)
+        engine: NeighborhoodCache | None = None
+        if self.batch_queries:
+            # Every gated point is queried exactly once, in sample order,
+            # so the gated set is the plan; serve-and-release keeps only
+            # the prefetched tail of each block resident. The E.update
+            # feed below still runs per result in sample order, exactly
+            # as the per-point loop would.
+            engine = NeighborhoodCache(index, X, self.eps, evict_on_fetch=True)
+            engine.plan(gated)
+            fetch = engine.fetch
+        else:
+            fetch = lambda s: index.range_query(X[s], self.eps)  # noqa: E731
         core_list: list[int] = []
         n_range_queries = 0
         for s in gated.tolist():
-            neighbors = index.range_query(X[s], self.eps)
+            neighbors = fetch(s)
             n_range_queries += 1
             E.update(s, neighbors)
             if neighbors.size >= self.tau:
@@ -107,6 +131,8 @@ class LAFDBSCANPlusPlus(Clusterer):
             "sample_size": int(sample.size),
             "n_core": int(core_sample.size),
         }
+        if engine is not None:
+            stats.update(engine.stats())
         core_mask = np.zeros(n, dtype=bool)
         if core_sample.size == 0:
             outcome = self.laf.finalize(np.full(n, NOISE, dtype=np.int64), self.tau)

@@ -51,17 +51,27 @@ def iter_distance_blocks(
     Q: np.ndarray,
     X: np.ndarray,
     block_size: int = DEFAULT_BLOCK_SIZE,
+    metric: str = "cosine",
 ) -> Iterator[tuple[int, int, np.ndarray]]:
-    """Yield ``(start, stop, D_block)`` cosine-distance blocks of ``Q`` vs ``X``.
+    """Yield ``(start, stop, D_block)`` distance blocks of ``Q`` vs ``X``.
 
     ``D_block`` has shape ``(stop - start, len(X))``; concatenating all
-    blocks reproduces :func:`cosine_distance_matrix` exactly, but peak
-    memory is ``block_size * len(X)`` floats.
+    blocks reproduces :func:`cosine_distance_matrix` (or
+    :func:`euclidean_distance_matrix` for ``metric="euclidean"``) exactly,
+    but peak memory is ``block_size * len(X)`` floats. This is the
+    distance kernel under every batched index query.
     """
     if block_size <= 0:
         raise InvalidParameterError(f"block_size must be positive; got {block_size}")
+    if metric not in ("cosine", "euclidean"):
+        raise InvalidParameterError(
+            f"metric must be 'cosine' or 'euclidean'; got {metric!r}"
+        )
     Q = np.asarray(Q, dtype=np.float64)
     X = np.asarray(X, dtype=np.float64)
     for start in range(0, Q.shape[0], block_size):
         stop = min(start + block_size, Q.shape[0])
-        yield start, stop, 1.0 - Q[start:stop] @ X.T
+        if metric == "cosine":
+            yield start, stop, 1.0 - Q[start:stop] @ X.T
+        else:
+            yield start, stop, euclidean_distance_matrix(Q[start:stop], X)

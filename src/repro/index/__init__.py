@@ -16,11 +16,18 @@ Four indexes back the paper's methods:
 All tree indexes operate in the Euclidean metric on unit vectors and
 convert cosine thresholds with the paper's Equation 1, because cosine
 distance itself violates the triangle inequality.
+
+Every index answers both scalar queries (``range_query``, ``knn_query``)
+and batched ones (``batch_range_query``, ``batch_range_count``,
+``batch_knn_query``); :class:`NeighborhoodCache` is the engine the
+clusterers use to route frontier expansions through the batched forms —
+see ``docs/engine.md``.
 """
 
 from repro.index.base import NeighborIndex
 from repro.index.brute_force import BruteForceIndex
 from repro.index.cover_tree import CoverTree
+from repro.index.engine import NeighborhoodCache
 from repro.index.grid import GridIndex
 from repro.index.kmeans_tree import KMeansTree
 
@@ -30,4 +37,5 @@ __all__ = [
     "GridIndex",
     "KMeansTree",
     "NeighborIndex",
+    "NeighborhoodCache",
 ]

@@ -51,6 +51,59 @@ class NeighborIndex(abc.ABC):
         """Number of points within cosine distance ``eps`` of ``q``."""
         return int(self.range_query(q, eps).size)
 
+    # ------------------------------------------------------------------
+    # Batched queries
+    #
+    # The batched forms are the engine API every clusterer goes through
+    # (see repro.index.engine). The base implementations loop over the
+    # scalar queries — row-for-row identical by construction — so every
+    # index is batch-capable; backends with a vectorized kernel
+    # (BruteForceIndex) override them with blockwise implementations.
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _as_query_matrix(Q: np.ndarray) -> np.ndarray:
+        """Normalize a query batch to 2-d float64 (a 1-d row is one query)."""
+        Q = np.asarray(Q, dtype=np.float64)
+        if Q.ndim == 1:
+            Q = Q[None, :]
+        return Q
+
+    def batch_range_query(self, Q: np.ndarray, eps: float) -> list[np.ndarray]:
+        """Neighbor index arrays for every row of ``Q`` at threshold ``eps``.
+
+        Row ``i`` of the result equals ``range_query(Q[i], eps)``. An
+        empty batch (shape ``(0, dim)``) returns an empty list.
+        """
+        self._require_built()
+        return [self.range_query(q, eps) for q in self._as_query_matrix(Q)]
+
+    def batch_range_count(self, Q: np.ndarray, eps: float) -> np.ndarray:
+        """Neighbor counts for every row of ``Q`` at threshold ``eps``."""
+        self._require_built()
+        Q = self._as_query_matrix(Q)
+        return np.fromiter(
+            (self.range_count(q, eps) for q in Q), dtype=np.int64, count=Q.shape[0]
+        )
+
+    def batch_knn_query(
+        self, Q: np.ndarray, k: int
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Per-row KNN results: ``(index_arrays, cosine_distance_arrays)``.
+
+        Returned as two ragged lists rather than matrices because
+        approximate indexes may surface fewer than ``k`` candidates for
+        some rows.
+        """
+        self._require_built()
+        indices: list[np.ndarray] = []
+        dists: list[np.ndarray] = []
+        for q in self._as_query_matrix(Q):
+            idx, d = self.knn_query(q, k)
+            indices.append(idx)
+            dists.append(d)
+        return indices, dists
+
     @abc.abstractmethod
     def knn_query(self, q: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
         """The ``k`` nearest indexed points to ``q``.

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.distances.matrix import euclidean_distance_matrix
+from repro.distances.matrix import iter_distance_blocks
 from repro.distances.metric import COSINE, Metric, get_metric
 from repro.exceptions import InvalidParameterError
 from repro.index.base import NeighborIndex
@@ -56,12 +56,6 @@ class BruteForceIndex(NeighborIndex):
         self._points = self.metric.validate(X)
         return self
 
-    def _block(self, Q: np.ndarray) -> np.ndarray:
-        """Distance block between query rows and all indexed points."""
-        if self.metric.name == "cosine":
-            return 1.0 - Q @ self._points.T
-        return euclidean_distance_matrix(Q, self._points)
-
     def range_query(self, q: np.ndarray, eps: float) -> np.ndarray:
         self._require_built()
         dists = self.metric.distance_to_many(np.asarray(q, dtype=np.float64), self._points)
@@ -88,27 +82,68 @@ class BruteForceIndex(NeighborIndex):
     # ------------------------------------------------------------------
 
     def _iter_blocks(self, Q: np.ndarray):
-        Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
-        for start in range(0, Q.shape[0], self.block_size):
-            stop = min(start + self.block_size, Q.shape[0])
-            yield start, stop, self._block(Q[start:stop])
+        yield from iter_distance_blocks(
+            self._as_query_matrix(Q),
+            self._points,
+            block_size=self.block_size,
+            metric=self.metric.name,
+        )
 
-    def range_count_many(self, Q: np.ndarray, eps: float) -> np.ndarray:
-        """Exact neighbor counts for every row of ``Q`` at threshold ``eps``."""
-        self._require_built()
-        Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
-        counts = np.empty(Q.shape[0], dtype=np.int64)
-        for start, stop, block in self._iter_blocks(Q):
-            counts[start:stop] = np.count_nonzero(block < eps, axis=1)
-        return counts
+    def batch_range_query(self, Q: np.ndarray, eps: float) -> list[np.ndarray]:
+        """Exact neighbor index arrays for every row of ``Q``, blockwise.
 
-    def range_query_many(self, Q: np.ndarray, eps: float) -> list[np.ndarray]:
-        """Exact neighbor index arrays for every row of ``Q``."""
+        One matrix product per block replaces ``len(Q)`` matrix-vector
+        products; peak memory stays at ``block_size * n_points`` floats.
+        """
         self._require_built()
         results: list[np.ndarray] = []
         for _, _, block in self._iter_blocks(Q):
             results.extend(np.flatnonzero(row < eps) for row in block)
         return results
+
+    def batch_range_count(self, Q: np.ndarray, eps: float) -> np.ndarray:
+        """Exact neighbor counts for every row of ``Q`` at threshold ``eps``."""
+        self._require_built()
+        Q = self._as_query_matrix(Q)
+        counts = np.empty(Q.shape[0], dtype=np.int64)
+        for start, stop, block in self._iter_blocks(Q):
+            counts[start:stop] = np.count_nonzero(block < eps, axis=1)
+        return counts
+
+    def batch_knn_query(
+        self, Q: np.ndarray, k: int
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Exact blocked KNN: argpartition per distance block."""
+        self._require_built()
+        if k <= 0:
+            raise InvalidParameterError(f"k must be positive; got {k}")
+        k = min(k, self.n_points)
+        indices: list[np.ndarray] = []
+        dists: list[np.ndarray] = []
+        for _, _, block in self._iter_blocks(Q):
+            if k < block.shape[1]:
+                part = np.argpartition(block, k - 1, axis=1)[:, :k]
+            else:
+                part = np.broadcast_to(
+                    np.arange(block.shape[1]), (block.shape[0], block.shape[1])
+                )
+            part_d = np.take_along_axis(block, part, axis=1)
+            order = np.argsort(part_d, axis=1, kind="stable")
+            row_idx = np.take_along_axis(part, order, axis=1)
+            row_d = np.take_along_axis(part_d, order, axis=1)
+            # Copy rows out so returned arrays don't pin the whole block.
+            indices.extend(np.array(r, dtype=np.int64) for r in row_idx)
+            dists.extend(np.array(r) for r in row_d)
+        return indices, dists
+
+    # Backwards-compatible aliases for the pre-engine batched names.
+    def range_count_many(self, Q: np.ndarray, eps: float) -> np.ndarray:
+        """Alias of :meth:`batch_range_count` (pre-engine name)."""
+        return self.batch_range_count(Q, eps)
+
+    def range_query_many(self, Q: np.ndarray, eps: float) -> list[np.ndarray]:
+        """Alias of :meth:`batch_range_query` (pre-engine name)."""
+        return self.batch_range_query(Q, eps)
 
     def range_count_multi_eps(self, Q: np.ndarray, eps_values: np.ndarray) -> np.ndarray:
         """Counts for every (query row, eps value) pair.

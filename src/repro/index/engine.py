@@ -1,0 +1,171 @@
+"""Batched range-query engine shared by every clusterer.
+
+The clustering algorithms in this repo are frontier expansions: they
+discover, in data-dependent order, which points need their
+eps-neighborhood. Executing those queries one ``index.range_query`` call
+at a time leaves the dominant cost path as a Python loop of
+matrix-vector products. :class:`NeighborhoodCache` turns the same
+workload into blockwise ``batch_range_query`` calls without changing
+*which* queries run or *when* their results become visible to the
+algorithm:
+
+* the clusterer **plans** the points whose neighborhoods it knows it
+  will eventually need (for DBSCAN that is every point; for LAF-DBSCAN
+  every predicted-core point);
+* every **fetch** of an uncached point computes one block — the fetched
+  point plus the next planned, still-uncached points — in a single
+  batched index call;
+* results are cached, so each point's neighborhood is computed at most
+  once per fit.
+
+Correctness contract: computation is *pure* (a neighborhood depends only
+on the immutable index, the query point and ``eps``), so prefetching a
+planned point early yields bit-identical results to querying it at its
+algorithmic execution time. Side effects tied to query execution — the
+LAF plugin's ``PartialNeighborMap.update`` (Algorithm 2), statistics
+counters — remain the host algorithm's job at the moment it *uses* a
+fetched neighborhood, which keeps the batched and per-point paths
+observationally identical (the differential tests in
+``tests/test_engine_equivalence.py`` assert exactly this). Because the
+engine is demand-driven, a planned point whose fetch never happens costs
+nothing, so planning is a prefetch-ordering hint, never speculation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["NeighborhoodCache"]
+
+#: Default number of queries computed per batched index call.
+DEFAULT_QUERY_BLOCK = 1024
+
+
+class NeighborhoodCache:
+    """Caches eps-neighborhoods, computing them in planned batches.
+
+    Parameters
+    ----------
+    index:
+        Any object exposing ``batch_range_query(Q, eps) -> list[np.ndarray]``
+        over the dataset ``X`` (every :class:`~repro.index.base.NeighborIndex`
+        qualifies; :class:`~repro.index.brute_force.BruteForceIndex` makes
+        the batch a true blocked matrix product).
+    X:
+        The indexed point matrix; ``fetch`` takes row indices into it.
+    eps:
+        Cosine-distance threshold of every cached query.
+    block_size:
+        Maximum queries per batched index call. ``1`` degenerates to the
+        per-point path (useful for differential testing).
+    evict_on_fetch:
+        When True, a neighborhood is released as soon as it is served.
+        Safe (and memory-bounding: only prefetched-but-unserved results
+        stay resident) for hosts that fetch each point at most once —
+        which every clusterer in this repo does. A re-fetch after
+        eviction transparently recomputes, so this only ever trades
+        compute for memory, never correctness.
+    """
+
+    def __init__(
+        self,
+        index,
+        X: np.ndarray,
+        eps: float,
+        block_size: int = DEFAULT_QUERY_BLOCK,
+        evict_on_fetch: bool = False,
+    ) -> None:
+        if block_size <= 0:
+            raise InvalidParameterError(f"block_size must be positive; got {block_size}")
+        self._index = index
+        self._X = np.asarray(X, dtype=np.float64)
+        self.eps = float(eps)
+        self.block_size = int(block_size)
+        self.evict_on_fetch = bool(evict_on_fetch)
+        n = self._X.shape[0]
+        self._cached = np.zeros(n, dtype=bool)
+        # Points computed at least once; evicted points stay marked so
+        # the plan never re-batches something already served.
+        self._ever_computed = np.zeros(n, dtype=bool)
+        self._neighborhoods: list[np.ndarray | None] = [None] * n
+        self._plan: list[int] = []
+        self._plan_pos = 0
+        self.n_fetches = 0
+        self.n_cache_hits = 0
+        self.n_computed = 0
+        self.n_blocks = 0
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    def plan(self, indices: Iterable[int] | np.ndarray) -> None:
+        """Append points to the prefetch order.
+
+        Plan the points the algorithm knows it will query, in the order
+        it is likely to query them. Already-cached or duplicate entries
+        are skipped lazily at fill time.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        self._plan.extend(indices.tolist())
+
+    # ------------------------------------------------------------------
+    # Fetching
+    # ------------------------------------------------------------------
+
+    def fetch(self, point: int) -> np.ndarray:
+        """The eps-neighborhood of dataset row ``point``.
+
+        A cache miss computes ``point`` together with the next planned,
+        still-uncached points in one batched index call.
+        """
+        point = int(point)
+        self.n_fetches += 1
+        if self._cached[point]:
+            self.n_cache_hits += 1
+        else:
+            self._fill_block(point)
+        neighbors = self._neighborhoods[point]
+        if self.evict_on_fetch:
+            self._neighborhoods[point] = None
+            self._cached[point] = False
+        return neighbors
+
+    def is_cached(self, point: int) -> bool:
+        """Whether ``point``'s neighborhood is already computed."""
+        return bool(self._cached[point])
+
+    def _fill_block(self, point: int) -> None:
+        batch = [point]
+        in_batch = {point}
+        plan = self._plan
+        while len(batch) < self.block_size and self._plan_pos < len(plan):
+            candidate = plan[self._plan_pos]
+            self._plan_pos += 1
+            if candidate not in in_batch and not self._ever_computed[candidate]:
+                batch.append(candidate)
+                in_batch.add(candidate)
+        ids = np.asarray(batch, dtype=np.int64)
+        results = self._index.batch_range_query(self._X[ids], self.eps)
+        for idx, neighbors in zip(batch, results):
+            self._neighborhoods[idx] = neighbors
+            self._cached[idx] = True
+        self._ever_computed[ids] = True
+        self.n_computed += len(batch)
+        self.n_blocks += 1
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Engine counters, merged into the host's ClusteringResult."""
+        return {
+            "engine_batches": self.n_blocks,
+            "engine_computed": self.n_computed,
+            "engine_cache_hits": self.n_cache_hits,
+        }

@@ -34,6 +34,7 @@ from repro.distances import (
     check_unit_norm,
     euclidean_distance_to_many,
     euclidean_from_cosine,
+    iter_distance_blocks,
 )
 from repro.exceptions import InvalidParameterError, NotFittedError
 
@@ -135,13 +136,10 @@ class GridIndex:
     # Approximate counting
     # ------------------------------------------------------------------
 
-    def approx_range_count(self, q: np.ndarray) -> int:
-        """Approximate |N_eps(q)| obeying the rho sandwich guarantee."""
-        self._require_built()
-        q = np.asarray(q, dtype=np.float64)
+    def _approx_count_row(self, q: np.ndarray, center_dists: np.ndarray) -> int:
+        """Rho-sandwich count for one query given its center distances."""
         r = self._r_euc
         r_outer = r * (1.0 + self.rho)
-        center_dists = euclidean_distance_to_many(q, self._cell_centers)
         full = center_dists + self._cell_radii <= r_outer
         empty = center_dists - self._cell_radii >= r
         straddle = ~(full | empty)
@@ -152,13 +150,36 @@ class GridIndex:
             count += int(np.count_nonzero(1.0 - pts @ q < eps_cos))
         return count
 
-    def exact_range_query(self, q: np.ndarray, eps: float | None = None) -> np.ndarray:
-        """Exact range query via cell-level pruning (used for borders)."""
+    def approx_range_count(self, q: np.ndarray) -> int:
+        """Approximate |N_eps(q)| obeying the rho sandwich guarantee."""
         self._require_built()
         q = np.asarray(q, dtype=np.float64)
-        eps_cos = self.eps if eps is None else eps
-        r = euclidean_from_cosine(eps_cos)
         center_dists = euclidean_distance_to_many(q, self._cell_centers)
+        return self._approx_count_row(q, center_dists)
+
+    def batch_approx_range_count(self, Q: np.ndarray) -> np.ndarray:
+        """Approximate counts for every row of ``Q``.
+
+        Row ``i`` equals ``approx_range_count(Q[i])``; the cell-center
+        distance matrix — the dominant cost when nearly every point owns
+        its own cell, the high-d regime — is computed blockwise instead
+        of one matrix-vector product per query.
+        """
+        self._require_built()
+        Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
+        counts = np.empty(Q.shape[0], dtype=np.int64)
+        for start, stop, block in iter_distance_blocks(
+            Q, self._cell_centers, metric="euclidean"
+        ):
+            for offset, center_dists in enumerate(block):
+                i = start + offset
+                counts[i] = self._approx_count_row(Q[i], center_dists)
+        return counts
+
+    def _exact_query_row(
+        self, q: np.ndarray, center_dists: np.ndarray, eps_cos: float, r: float
+    ) -> np.ndarray:
+        """Exact range query for one row given its center distances."""
         candidates = np.flatnonzero(center_dists - self._cell_radii < r)
         hits: list[np.ndarray] = []
         for c in candidates:
@@ -168,6 +189,33 @@ class GridIndex:
         if not hits:
             return np.empty(0, dtype=np.int64)
         return np.sort(np.concatenate(hits))
+
+    def exact_range_query(self, q: np.ndarray, eps: float | None = None) -> np.ndarray:
+        """Exact range query via cell-level pruning (used for borders)."""
+        self._require_built()
+        q = np.asarray(q, dtype=np.float64)
+        eps_cos = self.eps if eps is None else eps
+        r = euclidean_from_cosine(eps_cos)
+        center_dists = euclidean_distance_to_many(q, self._cell_centers)
+        return self._exact_query_row(q, center_dists, eps_cos, r)
+
+    def batch_range_query(
+        self, Q: np.ndarray, eps: float | None = None
+    ) -> list[np.ndarray]:
+        """Exact neighbor arrays for every row of ``Q`` (blockwise pruning)."""
+        self._require_built()
+        Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
+        eps_cos = self.eps if eps is None else eps
+        r = euclidean_from_cosine(eps_cos)
+        results: list[np.ndarray] = []
+        for start, stop, block in iter_distance_blocks(
+            Q, self._cell_centers, metric="euclidean"
+        ):
+            for offset, center_dists in enumerate(block):
+                results.append(
+                    self._exact_query_row(Q[start + offset], center_dists, eps_cos, r)
+                )
+        return results
 
     def cells_within(self, cell: int, max_dist_euc: float) -> np.ndarray:
         """Cells whose member balls could contain a point within

@@ -1,4 +1,9 @@
-"""Shared fixtures and reference implementations for the test suite."""
+"""Shared fixtures for the unit test suite.
+
+The reference implementations and data generators live in
+:mod:`repro.testing` (a stable module path both test trees and
+downstream users can import); tests import helpers from there directly.
+"""
 
 from __future__ import annotations
 
@@ -6,78 +11,11 @@ import numpy as np
 import pytest
 
 from repro.distances import normalize_rows
-
-# ---------------------------------------------------------------------------
-# Reference DBSCAN, implemented independently of the library code paths
-# (full distance matrix + BFS) so algorithmic tests compare two distinct
-# implementations rather than a module with itself.
-# ---------------------------------------------------------------------------
-
-
-def reference_dbscan(X: np.ndarray, eps: float, tau: int) -> np.ndarray:
-    """Naive DBSCAN: O(n^2) matrix + breadth-first cluster expansion."""
-    X = np.asarray(X, dtype=np.float64)
-    n = X.shape[0]
-    dists = 1.0 - X @ X.T
-    neighbor_sets = [np.flatnonzero(dists[i] < eps) for i in range(n)]
-    core = np.array([len(nbrs) >= tau for nbrs in neighbor_sets])
-    labels = np.full(n, -1, dtype=np.int64)
-    cluster = -1
-    for start in range(n):
-        if labels[start] != -1 or not core[start]:
-            continue
-        cluster += 1
-        frontier = [start]
-        labels[start] = cluster
-        while frontier:
-            p = frontier.pop()
-            if not core[p]:
-                continue
-            for q in neighbor_sets[p]:
-                if labels[q] == -1:
-                    labels[q] = cluster
-                    frontier.append(q)
-    return labels
-
-
-def canonical(labels: np.ndarray) -> np.ndarray:
-    """Relabel clusters in first-appearance order (noise preserved)."""
-    labels = np.asarray(labels)
-    out = np.full_like(labels, -1)
-    mapping: dict[int, int] = {}
-    for i, label in enumerate(labels):
-        if label == -1:
-            continue
-        if label not in mapping:
-            mapping[label] = len(mapping)
-        out[i] = mapping[label]
-    return out
-
+from repro.testing import make_blobs_on_sphere
 
 # ---------------------------------------------------------------------------
 # Data fixtures
 # ---------------------------------------------------------------------------
-
-
-def make_blobs_on_sphere(
-    n_per_cluster: int,
-    n_clusters: int,
-    dim: int,
-    spread: float = 0.15,
-    seed: int = 0,
-) -> tuple[np.ndarray, np.ndarray]:
-    """Well-separated spherical blobs: easy ground truth for clustering."""
-    rng = np.random.default_rng(seed)
-    centers = normalize_rows(rng.normal(size=(n_clusters, dim)))
-    parts, labels = [], []
-    for c, center in enumerate(centers):
-        pts = center[None, :] + spread * rng.normal(size=(n_per_cluster, dim)) / np.sqrt(dim)
-        parts.append(normalize_rows(pts))
-        labels.append(np.full(n_per_cluster, c))
-    X = np.vstack(parts)
-    y = np.concatenate(labels)
-    order = rng.permutation(X.shape[0])
-    return X[order], y[order]
 
 
 @pytest.fixture(scope="session")

@@ -7,7 +7,7 @@ from repro.clustering import DBSCAN, DBSCANPlusPlus
 from repro.exceptions import InvalidParameterError
 from repro.metrics import adjusted_rand_index
 
-from conftest import make_blobs_on_sphere
+from repro.testing import make_blobs_on_sphere
 
 
 class TestParameters:

@@ -10,7 +10,7 @@ from repro.estimators import ExactCardinalityEstimator, SamplingCardinalityEstim
 from repro.exceptions import InvalidParameterError
 from repro.index import BruteForceIndex
 
-from conftest import make_blobs_on_sphere
+from repro.testing import make_blobs_on_sphere
 
 
 @pytest.fixture(scope="module")

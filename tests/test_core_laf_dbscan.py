@@ -15,7 +15,7 @@ from repro.estimators import (
 from repro.exceptions import InvalidParameterError
 from repro.metrics import adjusted_mutual_info, adjusted_rand_index
 
-from conftest import make_blobs_on_sphere
+from repro.testing import make_blobs_on_sphere
 
 
 class TestLosslessInvariant:

@@ -9,7 +9,7 @@ from repro.estimators import ExactCardinalityEstimator, SamplingCardinalityEstim
 from repro.exceptions import InvalidParameterError
 from repro.metrics import adjusted_rand_index
 
-from conftest import make_blobs_on_sphere
+from repro.testing import make_blobs_on_sphere
 
 
 class TestParameters:

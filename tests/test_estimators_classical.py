@@ -12,7 +12,7 @@ from repro.estimators import (
 from repro.exceptions import InvalidParameterError, NotFittedError
 from repro.index import BruteForceIndex
 
-from conftest import make_blobs_on_sphere
+from repro.testing import make_blobs_on_sphere
 
 
 @pytest.fixture(scope="module")

@@ -28,7 +28,7 @@ from repro.experiments.tradeoff import (
     sweep_laf_dbscanpp,
 )
 
-from conftest import make_blobs_on_sphere
+from repro.testing import make_blobs_on_sphere
 
 
 @pytest.fixture(scope="module")

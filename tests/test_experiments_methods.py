@@ -16,7 +16,7 @@ from repro.exceptions import InvalidParameterError
 from repro.experiments import MethodContext, build_method, method_names
 from repro.experiments.methods import ALL_METHODS, APPROXIMATE_METHODS
 
-from conftest import make_blobs_on_sphere
+from repro.testing import make_blobs_on_sphere
 
 
 @pytest.fixture(scope="module")

@@ -7,7 +7,7 @@ from repro.clustering import DBSCAN
 from repro.estimators import ExactCardinalityEstimator
 from repro.experiments import MethodContext, ground_truth, run_method, run_suite
 
-from conftest import make_blobs_on_sphere
+from repro.testing import make_blobs_on_sphere
 
 
 @pytest.fixture(scope="module")

@@ -7,7 +7,7 @@ from repro.distances import normalize_rows
 from repro.exceptions import InvalidParameterError, NotFittedError
 from repro.index import BruteForceIndex, KMeansTree
 
-from conftest import make_blobs_on_sphere
+from repro.testing import make_blobs_on_sphere
 
 
 def random_unit(n, dim, seed):

@@ -8,7 +8,7 @@ from repro.distances import normalize_rows
 from repro.estimators import RMICardinalityEstimator
 from repro.exceptions import NotFittedError
 
-from conftest import make_blobs_on_sphere
+from repro.testing import make_blobs_on_sphere
 
 
 class TestRMIPersistence:
