@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""CI benchmark-regression gate.
+
+Compares freshly measured benchmark JSONs (``benchmarks/out/``) against
+the committed baselines (``benchmarks/baselines/``) and exits non-zero
+when a tracked metric regressed by more than the threshold (default
+25%).
+
+Tracked metrics are the keys ending in ``_speedup`` — dimensionless
+ratios (batched vs per-point time measured on the *same* machine in the
+*same* run), which are comparable across CI runners where absolute
+seconds are not. Higher is better; a fresh value below
+``baseline * (1 - threshold)`` fails the gate.
+
+Rows within a file are matched by their identity keys (every
+non-numeric field plus ``n`` / ``dim`` / ``eps``), so reordering rows or
+adding new configurations never produces a false failure; a baseline
+row that disappeared from the fresh file does.
+
+A baseline without a fresh counterpart fails too: that means the
+benchmark silently stopped running, which is itself a regression. An
+unparseable fresh file fails with a clear message (the writers use
+atomic replace, so this indicates a real bug, not a torn write).
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        [--out benchmarks/out] [--baselines benchmarks/baselines] \
+        [--threshold 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass
+
+#: Row fields that identify a measured configuration (not metrics).
+IDENTITY_KEYS = ("index", "method", "dataset", "n", "dim", "eps", "k")
+
+#: Metric-name suffix marking a tracked, higher-is-better ratio.
+TRACKED_SUFFIX = "_speedup"
+
+
+@dataclass
+class Finding:
+    """One gate result line."""
+
+    file: str
+    row: str
+    metric: str
+    baseline: float
+    fresh: float | None
+    ok: bool
+
+    def describe(self) -> str:
+        status = "ok  " if self.ok else "FAIL"
+        if self.fresh is None:
+            return f"{status} {self.file} {self.row} {self.metric}: missing"
+        change = (self.fresh - self.baseline) / self.baseline
+        return (
+            f"{status} {self.file} {self.row} {self.metric}: "
+            f"{self.baseline:.2f} -> {self.fresh:.2f} ({change:+.0%})"
+        )
+
+
+def row_identity(row: dict) -> str:
+    """Stable identity string for matching rows across files."""
+    parts = [f"{k}={row[k]}" for k in IDENTITY_KEYS if k in row]
+    return "[" + ", ".join(parts) + "]" if parts else "[row]"
+
+
+def tracked_metrics(row: dict) -> dict[str, float]:
+    return {
+        key: float(value)
+        for key, value in row.items()
+        if key.endswith(TRACKED_SUFFIX) and isinstance(value, (int, float))
+    }
+
+
+def load_rows(path: str) -> dict[str, dict]:
+    """Rows of one benchmark JSON, keyed by identity. Raises ValueError."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            payload = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"unreadable benchmark file {path}: {exc}") from exc
+    rows = payload.get("rows") if isinstance(payload, dict) else None
+    if not isinstance(rows, list):
+        raise ValueError(f"benchmark file {path} has no 'rows' list")
+    return {row_identity(row): row for row in rows if isinstance(row, dict)}
+
+
+def compare_file(
+    name: str, baseline_path: str, fresh_path: str, threshold: float
+) -> list[Finding]:
+    """Gate one baseline file against its fresh counterpart."""
+    baseline_rows = load_rows(baseline_path)
+    if not os.path.exists(fresh_path):
+        return [
+            Finding(name, identity, metric, value, None, ok=False)
+            for identity, row in baseline_rows.items()
+            for metric, value in tracked_metrics(row).items()
+        ]
+    fresh_rows = load_rows(fresh_path)
+    findings: list[Finding] = []
+    for identity, row in baseline_rows.items():
+        fresh_row = fresh_rows.get(identity)
+        for metric, value in tracked_metrics(row).items():
+            fresh_value = fresh_row.get(metric) if fresh_row else None
+            if not isinstance(fresh_value, (int, float)):
+                findings.append(Finding(name, identity, metric, value, None, ok=False))
+                continue
+            ok = float(fresh_value) >= value * (1.0 - threshold)
+            findings.append(
+                Finding(name, identity, metric, value, float(fresh_value), ok)
+            )
+    return findings
+
+
+def check(out_dir: str, baselines_dir: str, threshold: float) -> list[Finding]:
+    """Gate every committed baseline; returns all findings."""
+    names = sorted(
+        name for name in os.listdir(baselines_dir) if name.endswith(".json")
+    )
+    if not names:
+        raise ValueError(f"no baseline files in {baselines_dir}")
+    findings: list[Finding] = []
+    for name in names:
+        findings.extend(
+            compare_file(
+                name,
+                os.path.join(baselines_dir, name),
+                os.path.join(out_dir, name),
+                threshold,
+            )
+        )
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    here = os.path.dirname(os.path.abspath(__file__))
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=os.path.join(here, "out"))
+    parser.add_argument("--baselines", default=os.path.join(here, "baselines"))
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="maximum tolerated fractional drop of a tracked metric",
+    )
+    args = parser.parse_args(argv)
+    try:
+        findings = check(args.out, args.baselines, args.threshold)
+    except ValueError as exc:
+        print(f"regression gate error: {exc}", file=sys.stderr)
+        return 1
+    for finding in findings:
+        print(finding.describe())
+    failures = [f for f in findings if not f.ok]
+    if failures:
+        print(
+            f"regression gate: {len(failures)} of {len(findings)} tracked "
+            f"metrics regressed beyond {args.threshold:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"regression gate: all {len(findings)} tracked metrics within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,7 +5,7 @@ ratio and eventually collapses everything into one cluster at
 (0.7, 5); at fixed (eps, tau), larger datasets have lower noise ratios.
 """
 
-from conftest import bench_workload, out_path
+from conftest import out_path
 
 from repro.experiments.param_select import parameter_grid, select_representative
 from repro.experiments.reporting import format_table, save_json

@@ -18,7 +18,6 @@ from __future__ import annotations
 import argparse
 
 from repro.experiments.efficiency import speedup_summary, timing_comparison
-from repro.experiments.methods import APPROXIMATE_METHODS
 from repro.experiments.missed import missed_cluster_analysis
 from repro.experiments.param_select import parameter_grid
 from repro.experiments.quality import quality_comparison

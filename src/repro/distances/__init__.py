@@ -19,6 +19,7 @@ from repro.distances.functional import (
     euclidean_distance,
     euclidean_distance_to_many,
     normalize_rows,
+    squared_euclidean_distance_to_many,
 )
 from repro.distances.metric import (
     COSINE,
@@ -32,6 +33,7 @@ from repro.distances.matrix import (
     euclidean_distance_matrix,
     iter_distance_blocks,
     pairwise_cosine_within,
+    squared_euclidean_distance_matrix,
 )
 from repro.distances.validation import (
     check_finite_2d,
@@ -59,6 +61,8 @@ __all__ = [
     "is_unit_normalized",
     "iter_distance_blocks",
     "normalize_rows",
-    "suggest_radii",
     "pairwise_cosine_within",
+    "squared_euclidean_distance_matrix",
+    "squared_euclidean_distance_to_many",
+    "suggest_radii",
 ]

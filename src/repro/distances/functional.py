@@ -17,6 +17,7 @@ __all__ = [
     "euclidean_distance",
     "cosine_distance_to_many",
     "euclidean_distance_to_many",
+    "squared_euclidean_distance_to_many",
 ]
 
 
@@ -42,8 +43,14 @@ def cosine_similarity(u: np.ndarray, v: np.ndarray) -> float:
 
 
 def cosine_distance(u: np.ndarray, v: np.ndarray) -> float:
-    """Cosine distance ``1 - <u, v>`` between unit vectors; range [0, 2]."""
-    return 1.0 - float(np.dot(u, v))
+    """Cosine distance ``1 - <u, v>`` between unit vectors; range [0, 2].
+
+    Clamped at 0: rounding can push the inner product of (near-)identical
+    unit vectors a hair above 1, and a negative distance would make the
+    strict ``d < eps`` neighborhood test depend on which BLAS kernel
+    computed it.
+    """
+    return max(0.0, 1.0 - float(np.dot(u, v)))
 
 
 def angular_distance(u: np.ndarray, v: np.ndarray) -> float:
@@ -65,17 +72,25 @@ def cosine_distance_to_many(q: np.ndarray, X: np.ndarray) -> np.ndarray:
     """Cosine distances from one unit query ``q`` to every row of ``X``.
 
     A single matrix-vector product; the workhorse of every range query in
-    this library.
+    this library. Clamped at 0 (see :func:`cosine_distance`) so scalar
+    and batched kernels agree bit-for-bit on zero distances.
     """
-    return 1.0 - X @ np.asarray(q, dtype=np.float64)
+    return np.maximum(0.0, 1.0 - X @ np.asarray(q, dtype=np.float64))
 
 
-def euclidean_distance_to_many(q: np.ndarray, X: np.ndarray) -> np.ndarray:
-    """Euclidean distances from ``q`` to every row of ``X``.
+def squared_euclidean_distance_to_many(q: np.ndarray, X: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances from ``q`` to every row of ``X``.
 
     Uses the expansion ``||x - q||^2 = ||x||^2 - 2<x, q> + ||q||^2`` so it
     stays one BLAS call; negative rounding artifacts are clipped at 0.
+    The tree traversals compare these against squared thresholds, which
+    avoids a sqrt round-trip at exact-boundary distances.
     """
     q = np.asarray(q, dtype=np.float64)
     sq = np.einsum("ij,ij->i", X, X) - 2.0 * (X @ q) + float(np.dot(q, q))
-    return np.sqrt(np.clip(sq, 0.0, None))
+    return np.clip(sq, 0.0, None, out=sq)
+
+
+def euclidean_distance_to_many(q: np.ndarray, X: np.ndarray) -> np.ndarray:
+    """Euclidean distances from ``q`` to every row of ``X``."""
+    return np.sqrt(squared_euclidean_distance_to_many(q, X))

@@ -16,7 +16,7 @@ import numpy as np
 from repro.clustering import DBSCAN, RhoApproxDBSCAN
 from repro.estimators.base import CardinalityEstimator
 from repro.experiments.methods import APPROXIMATE_METHODS, MethodContext
-from repro.experiments.runner import RunRecord, ground_truth, run_method, run_suite
+from repro.experiments.runner import RunRecord, run_method, run_suite
 
 __all__ = ["timing_comparison", "rho_vs_dbscan", "speedup_summary"]
 

@@ -83,11 +83,25 @@ def pivot(
 
 
 def save_json(path: str, payload: object) -> None:
-    """Write a JSON document, creating parent directories as needed."""
-    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
-    with open(path, "w", encoding="utf-8") as f:
-        json.dump(payload, f, indent=2, sort_keys=True, default=_json_default)
-        f.write("\n")
+    """Write a JSON document atomically, creating parent directories.
+
+    Serializes to a temporary file in the destination directory and
+    renames it into place, so an interrupted run (CI timeout, SIGKILL)
+    can never leave a truncated document behind — readers such as the
+    benchmark regression gate either see the old file or the complete
+    new one.
+    """
+    path = os.path.abspath(path)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=2, sort_keys=True, default=_json_default)
+            f.write("\n")
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
 
 
 def _json_default(obj: object) -> object:

@@ -147,7 +147,8 @@ class GridIndex:
         eps_cos = self.eps
         for c in np.flatnonzero(straddle):
             pts = self._points[self._cell_points[c]]
-            count += int(np.count_nonzero(1.0 - pts @ q < eps_cos))
+            dists = np.maximum(0.0, 1.0 - pts @ q)
+            count += int(np.count_nonzero(dists < eps_cos))
         return count
 
     def approx_range_count(self, q: np.ndarray) -> int:
@@ -184,7 +185,7 @@ class GridIndex:
         hits: list[np.ndarray] = []
         for c in candidates:
             member_idx = self._cell_points[c]
-            dists = 1.0 - self._points[member_idx] @ q
+            dists = np.maximum(0.0, 1.0 - self._points[member_idx] @ q)
             hits.append(member_idx[dists < eps_cos])
         if not hits:
             return np.empty(0, dtype=np.int64)

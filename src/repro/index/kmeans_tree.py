@@ -31,7 +31,12 @@ from repro.distances import (
     euclidean_from_cosine,
 )
 from repro.exceptions import InvalidParameterError
-from repro.index.base import NeighborIndex
+from repro.index.base import (
+    NeighborIndex,
+    expand_csr,
+    group_hit_pairs,
+    grouped_pair_distances,
+)
 from repro.rng import ensure_rng
 
 __all__ = ["KMeansTree"]
@@ -118,7 +123,34 @@ class KMeansTree(NeighborIndex):
         self._n_leaves = 0
         all_indices = np.arange(self._points.shape[0], dtype=np.int64)
         self._root = self._build_node(all_indices)
+        self._freeze()
         return self
+
+    def _freeze(self) -> None:
+        """Flatten the node tree into arrays for the batched traversal."""
+        order: list[_Node] = [self._root]
+        i = 0
+        while i < len(order):
+            node = order[i]
+            i += 1
+            if node.children:
+                order.extend(node.children)
+        self._np_nodes = order
+        self._np_centers = np.stack([n.center for n in order])
+        self._np_center_sq = np.einsum("ij,ij->i", self._np_centers, self._np_centers)
+        self._np_radius = np.array([n.radius for n in order])
+        self._np_is_leaf = np.array([n.is_leaf for n in order], dtype=bool)
+        index_of = {id(n): k for k, n in enumerate(order)}
+        counts = np.array(
+            [len(n.children) if n.children else 0 for n in order], dtype=np.int64
+        )
+        self._np_child_offsets = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(counts)]
+        )
+        self._np_child_flat = np.array(
+            [index_of[id(c)] for n in order for c in (n.children or [])],
+            dtype=np.int64,
+        )
 
     def _build_node(self, indices: np.ndarray) -> _Node:
         pts = self._points[indices]
@@ -203,7 +235,9 @@ class KMeansTree(NeighborIndex):
                 continue
             if node.is_leaf:
                 collected_idx.append(node.point_indices)
-                collected_dist.append(1.0 - node.leaf_points @ q)
+                # Clamp at 0 like every cosine kernel, so the scalar and
+                # batched leaf blocks agree exactly on zero distances.
+                collected_dist.append(np.maximum(0.0, 1.0 - node.leaf_points @ q))
                 budget -= 1
                 continue
             child_dists = euclidean_distance_to_many(q, node.child_centers)
@@ -239,3 +273,148 @@ class KMeansTree(NeighborIndex):
             return np.empty(0, dtype=np.int64)
         hits = candidates[dists < eps]
         return np.sort(hits)
+
+    # ------------------------------------------------------------------
+    # Batched queries (vectorized level-synchronous traversal)
+    # ------------------------------------------------------------------
+
+    def _batch_reachable_leaves(
+        self, Q: np.ndarray, r: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """All (query row, leaf node id) pairs the pruned traversal reaches.
+
+        Level-synchronous counterpart of :meth:`_collect_candidates` with
+        a ``prune_radius``: a leaf is reachable iff neither it nor any
+        ancestor is pruned by the ball-intersection bound
+        ``d(q, center) > r + radius``. Visit *order* is irrelevant here —
+        the caller handles the leaf-check budget.
+        """
+        n_queries = Q.shape[0]
+        Q_sq = np.einsum("ij,ij->i", Q, Q)
+        nodes = np.zeros(1, dtype=np.int64)  # node 0 is the root
+        q_flat = np.arange(n_queries, dtype=np.int64)
+        q_offsets = np.array([0, n_queries], dtype=np.int64)
+        # Squared distances against squared bounds (monotone, same pairs
+        # pass) skip a sqrt over every frontier pair.
+        dists = grouped_pair_distances(
+            Q,
+            q_flat,
+            q_offsets,
+            self._np_centers[nodes],
+            Q_sq=Q_sq,
+            C_sq=self._np_center_sq[nodes],
+            squared=True,
+        )
+        leaf_qs: list[np.ndarray] = []
+        leaf_ns: list[np.ndarray] = []
+        while q_flat.size:
+            col_of_entry = np.repeat(
+                np.arange(nodes.size, dtype=np.int64), np.diff(q_offsets)
+            )
+            bound = r + self._np_radius[nodes[col_of_entry]]
+            keep = dists <= bound * bound
+            q_flat = q_flat[keep]
+            col_of_entry = col_of_entry[keep]
+            at_leaf = self._np_is_leaf[nodes[col_of_entry]]
+            if at_leaf.any():
+                leaf_qs.append(q_flat[at_leaf])
+                leaf_ns.append(nodes[col_of_entry[at_leaf]])
+            q_flat = q_flat[~at_leaf]
+            col_of_entry = col_of_entry[~at_leaf]
+            if q_flat.size == 0:
+                break
+            counts = np.bincount(col_of_entry, minlength=nodes.size)
+            live = counts > 0
+            nodes = nodes[live]
+            q_offsets = np.concatenate(
+                [np.zeros(1, dtype=np.int64), np.cumsum(counts[live])]
+            )
+            child_counts, children = expand_csr(
+                self._np_child_offsets, self._np_child_flat, nodes
+            )
+            parent_of_child = np.repeat(
+                np.arange(nodes.size, dtype=np.int64), child_counts
+            )
+            q_counts, child_q_flat = expand_csr(q_offsets, q_flat, parent_of_child)
+            nodes = children
+            q_flat = child_q_flat
+            q_offsets = np.concatenate(
+                [np.zeros(1, dtype=np.int64), np.cumsum(q_counts)]
+            )
+            dists = grouped_pair_distances(
+                Q,
+                q_flat,
+                q_offsets,
+                self._np_centers[nodes],
+                Q_sq=Q_sq,
+                C_sq=self._np_center_sq[nodes],
+                squared=True,
+            )
+        if not leaf_qs:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return np.concatenate(leaf_qs), np.concatenate(leaf_ns)
+
+    def batch_range_query(self, Q: np.ndarray, eps: float) -> list[np.ndarray]:
+        """Batched range query; row ``i`` equals ``range_query(Q[i], eps)``.
+
+        The scalar path's best-first order only matters when the leaf-
+        check budget (``checks_ratio``) runs out mid-search. The batch
+        path therefore splits the queries after a shared vectorized
+        reachability traversal: queries whose reachable-leaf count fits
+        the budget — always true at ``checks_ratio=1.0`` — are answered
+        with per-leaf distance blocks; the rest fall back to the scalar
+        search, keeping every row identical to the per-point path.
+        """
+        self._require_built()
+        Q = self._as_query_matrix(Q)
+        n_queries = Q.shape[0]
+        if n_queries == 0:
+            return []
+        eps = float(eps)
+        r = euclidean_from_cosine(min(max(eps, 0.0), 2.0))
+        leaf_q, leaf_node = self._batch_reachable_leaves(Q, r)
+        budget = self._max_leaf_checks()
+        reach_counts = np.bincount(leaf_q, minlength=n_queries)
+        over_budget = reach_counts > budget
+        if over_budget.any():
+            in_budget = ~over_budget[leaf_q]
+            leaf_q = leaf_q[in_budget]
+            leaf_node = leaf_node[in_budget]
+        results: list[np.ndarray | None] = [None] * n_queries
+        hit_qs: list[np.ndarray] = []
+        hit_ps: list[np.ndarray] = []
+        # One cosine-distance block per distinct visited leaf: all the
+        # queries that reach the leaf against its contiguous point copy.
+        order = np.argsort(leaf_node, kind="stable")
+        leaf_q = leaf_q[order]
+        leaf_node = leaf_node[order]
+        starts = np.flatnonzero(np.diff(leaf_node, prepend=-1))
+        bounds = np.append(starts, leaf_node.size)
+        for b in range(starts.size):
+            queries = leaf_q[bounds[b] : bounds[b + 1]]
+            node = self._np_nodes[leaf_node[bounds[b]]]
+            block = np.maximum(0.0, 1.0 - Q[queries] @ node.leaf_points.T)
+            rows, cols = np.nonzero(block < eps)
+            if rows.size:
+                hit_qs.append(queries[rows])
+                hit_ps.append(node.point_indices[cols])
+        grouped = group_hit_pairs(
+            np.concatenate(hit_qs) if hit_qs else np.empty(0, dtype=np.int64),
+            np.concatenate(hit_ps) if hit_ps else np.empty(0, dtype=np.int64),
+            self.n_points,
+            n_queries,
+        )
+        for i in range(n_queries):
+            if over_budget[i]:
+                results[i] = self.range_query(Q[i], eps)
+            else:
+                results[i] = grouped[i]
+        return results
+
+    def batch_range_count(self, Q: np.ndarray, eps: float) -> np.ndarray:
+        """Batched counts; row ``i`` equals ``range_count(Q[i], eps)``."""
+        self._require_built()
+        return np.array(
+            [row.size for row in self.batch_range_query(Q, eps)], dtype=np.int64
+        )

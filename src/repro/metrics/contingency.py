@@ -9,7 +9,9 @@ from repro.exceptions import DataValidationError
 __all__ = ["contingency_matrix", "check_labelings"]
 
 
-def check_labelings(labels_true: np.ndarray, labels_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def check_labelings(
+    labels_true: np.ndarray, labels_pred: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
     """Validate and coerce a pair of labelings to 1-D int arrays."""
     labels_true = np.asarray(labels_true)
     labels_pred = np.asarray(labels_pred)

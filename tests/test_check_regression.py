@@ -1,0 +1,175 @@
+"""Unit tests for the CI benchmark-regression gate and atomic JSON writes.
+
+``benchmarks/check_regression.py`` is loaded by file path (the
+``benchmarks/`` directory is not a package); the tests drive it over
+synthetic baseline/fresh pairs in a tmp dir, including the acceptance
+scenario: a synthetic slowdown beyond 25% must fail the gate.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+import sys
+
+import pytest
+
+from repro.experiments.reporting import save_json
+
+_SCRIPT = os.path.join(
+    os.path.dirname(__file__), os.pardir, "benchmarks", "check_regression.py"
+)
+
+spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
+check_regression = importlib.util.module_from_spec(spec)
+sys.modules[spec.name] = check_regression
+spec.loader.exec_module(check_regression)
+
+
+def write_rows(directory, name, rows):
+    directory.mkdir(exist_ok=True)
+    (directory / name).write_text(json.dumps({"rows": rows}) + "\n")
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    baselines = tmp_path / "baselines"
+    out = tmp_path / "out"
+    return baselines, out
+
+
+BASE_ROW = {"n": 8000, "dim": 16, "query_speedup": 4.0, "scalar_query_s": 6.0}
+
+
+class TestGateVerdicts:
+    def test_unchanged_metrics_pass(self, dirs):
+        baselines, out = dirs
+        write_rows(baselines, "bench.json", [BASE_ROW])
+        write_rows(out, "bench.json", [BASE_ROW])
+        assert check_regression.main([
+            "--baselines", str(baselines), "--out", str(out)
+        ]) == 0
+
+    def test_synthetic_25_percent_slowdown_fails(self, dirs):
+        # A batched path 25% slower than baseline at fixed scalar time
+        # drops the speedup from 4.0 to 4.0/1.25 = 3.2 — a 20% metric
+        # drop, inside tolerance. Make the slowdown bite harder: 40%
+        # slower -> speedup 2.857, a 28.6% drop, beyond the 25% gate.
+        baselines, out = dirs
+        write_rows(baselines, "bench.json", [BASE_ROW])
+        write_rows(out, "bench.json", [dict(BASE_ROW, query_speedup=4.0 / 1.4)])
+        assert check_regression.main([
+            "--baselines", str(baselines), "--out", str(out)
+        ]) == 1
+
+    def test_drop_within_threshold_passes(self, dirs):
+        baselines, out = dirs
+        write_rows(baselines, "bench.json", [BASE_ROW])
+        write_rows(out, "bench.json", [dict(BASE_ROW, query_speedup=3.1)])
+        assert check_regression.main([
+            "--baselines", str(baselines), "--out", str(out)
+        ]) == 0
+
+    def test_threshold_is_configurable(self, dirs):
+        baselines, out = dirs
+        write_rows(baselines, "bench.json", [BASE_ROW])
+        write_rows(out, "bench.json", [dict(BASE_ROW, query_speedup=3.5)])
+        args = ["--baselines", str(baselines), "--out", str(out)]
+        assert check_regression.main(args + ["--threshold", "0.05"]) == 1
+        assert check_regression.main(args + ["--threshold", "0.25"]) == 0
+
+    def test_improvements_pass(self, dirs):
+        baselines, out = dirs
+        write_rows(baselines, "bench.json", [BASE_ROW])
+        write_rows(out, "bench.json", [dict(BASE_ROW, query_speedup=9.0)])
+        assert check_regression.main([
+            "--baselines", str(baselines), "--out", str(out)
+        ]) == 0
+
+    def test_untracked_timings_are_ignored(self, dirs):
+        # Absolute seconds vary across runners; only *_speedup gates.
+        baselines, out = dirs
+        write_rows(baselines, "bench.json", [BASE_ROW])
+        write_rows(out, "bench.json", [dict(BASE_ROW, scalar_query_s=60.0)])
+        assert check_regression.main([
+            "--baselines", str(baselines), "--out", str(out)
+        ]) == 0
+
+
+class TestGateRobustness:
+    def test_missing_fresh_file_fails(self, dirs):
+        baselines, out = dirs
+        write_rows(baselines, "bench.json", [BASE_ROW])
+        out.mkdir()
+        assert check_regression.main([
+            "--baselines", str(baselines), "--out", str(out)
+        ]) == 1
+
+    def test_missing_fresh_row_fails(self, dirs):
+        baselines, out = dirs
+        write_rows(baselines, "bench.json", [BASE_ROW])
+        write_rows(out, "bench.json", [dict(BASE_ROW, n=2000)])
+        assert check_regression.main([
+            "--baselines", str(baselines), "--out", str(out)
+        ]) == 1
+
+    def test_extra_fresh_rows_do_not_fail(self, dirs):
+        baselines, out = dirs
+        write_rows(baselines, "bench.json", [BASE_ROW])
+        write_rows(out, "bench.json", [BASE_ROW, dict(BASE_ROW, n=16000)])
+        assert check_regression.main([
+            "--baselines", str(baselines), "--out", str(out)
+        ]) == 0
+
+    def test_rows_matched_by_identity_not_position(self, dirs):
+        baselines, out = dirs
+        row_a = dict(BASE_ROW, n=2000, query_speedup=8.0)
+        write_rows(baselines, "bench.json", [row_a, BASE_ROW])
+        write_rows(out, "bench.json", [BASE_ROW, row_a])
+        assert check_regression.main([
+            "--baselines", str(baselines), "--out", str(out)
+        ]) == 0
+
+    def test_truncated_fresh_json_fails_cleanly(self, dirs):
+        baselines, out = dirs
+        write_rows(baselines, "bench.json", [BASE_ROW])
+        out.mkdir()
+        (out / "bench.json").write_text('{"rows": [{"n": 8000, "query_')
+        assert check_regression.main([
+            "--baselines", str(baselines), "--out", str(out)
+        ]) == 1
+
+    def test_empty_baselines_dir_fails(self, dirs):
+        baselines, out = dirs
+        baselines.mkdir()
+        out.mkdir()
+        assert check_regression.main([
+            "--baselines", str(baselines), "--out", str(out)
+        ]) == 1
+
+
+class TestAtomicSaveJson:
+    """The writers the gate reads from must never leave torn files."""
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "nested" / "result.json"
+        save_json(str(path), {"rows": [{"n": 1}]})
+        assert json.loads(path.read_text()) == {"rows": [{"n": 1}]}
+
+    def test_overwrite_replaces_whole_document(self, tmp_path):
+        path = tmp_path / "result.json"
+        save_json(str(path), {"rows": list(range(1000))})
+        save_json(str(path), {"rows": [1]})
+        assert json.loads(path.read_text()) == {"rows": [1]}
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        path = tmp_path / "result.json"
+        save_json(str(path), {"ok": True})
+        assert os.listdir(tmp_path) == ["result.json"]
+
+    def test_failed_serialization_leaves_no_artifacts(self, tmp_path):
+        path = tmp_path / "result.json"
+        with pytest.raises(TypeError):
+            save_json(str(path), {"bad": object()})
+        assert os.listdir(tmp_path) == []

@@ -8,8 +8,6 @@ from repro.exceptions import InvalidParameterError
 from repro.index import BruteForceIndex
 from repro.metrics import adjusted_rand_index
 
-from repro.testing import make_blobs_on_sphere
-
 
 class TestParameters:
     def test_invalid_rnt(self):

@@ -11,7 +11,7 @@ from repro.exceptions import DataValidationError
 from repro.index import BruteForceIndex, CoverTree
 from repro.metrics import adjusted_rand_index
 
-from repro.testing import canonical, make_blobs_on_sphere, reference_dbscan
+from repro.testing import canonical, reference_dbscan
 
 
 class TestAgainstReference:

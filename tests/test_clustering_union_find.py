@@ -1,6 +1,5 @@
 """Tests for the disjoint-set structure."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -67,7 +66,6 @@ class TestUnionFind:
     def test_matches_naive_connectivity(self, edges):
         """Property: union-find connectivity equals graph connectivity."""
         uf = UnionFind(20)
-        adjacency = {i: {i} for i in range(20)}
         for a, b in edges:
             uf.union(a, b)
         # Naive transitive closure via BFS.

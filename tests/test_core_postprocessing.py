@@ -1,7 +1,6 @@
 """Tests for Algorithm 3 (PostProcessing)."""
 
 import numpy as np
-import pytest
 
 from repro.core import PartialNeighborMap, post_process
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.distances import normalize_rows
 from repro.estimators import RMICardinalityEstimator
 from repro.exceptions import InvalidParameterError, NotFittedError
 from repro.index import BruteForceIndex
@@ -145,7 +144,6 @@ class TestRouting:
         from repro.estimators.training_data import make_features
 
         feats = make_features(X, 0.5)
-        assignment = np.zeros(feats.shape[0], dtype=np.int64)
         preds = est._predict_log_counts(feats)
         assert np.isfinite(preds).all()
 

@@ -1,7 +1,6 @@
 """Tests for param_select (Table 2), tradeoff (Fig 2/3), missed (Table 6),
 efficiency helpers (Fig 1/4, Table 4) and ablations."""
 
-import numpy as np
 import pytest
 
 from repro.clustering import DBSCAN

@@ -1,6 +1,5 @@
 """Tests for the method registry and context."""
 
-import numpy as np
 import pytest
 
 from repro.clustering import (

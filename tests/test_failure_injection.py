@@ -8,7 +8,6 @@ framework's contracts instead of crashing or corrupting labels.
 """
 
 import numpy as np
-import pytest
 
 from repro.clustering import DBSCAN
 from repro.core import LAFDBSCAN, LAFDBSCANPlusPlus

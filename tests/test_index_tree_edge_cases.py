@@ -1,0 +1,245 @@
+"""Edge cases the vectorized tree batch traversals must survive.
+
+Every case asserts the batched path row-identical to the scalar path on
+all four index backends (brute force, cover tree, k-means tree, grid):
+empty batches, ``eps = 0``, duplicate points, batches larger than the
+dataset, and degenerate single-leaf / single-node trees. The duplicate
+and ``eps = 0`` fixtures use one-hot unit vectors so every inner product
+is exactly representable — the comparisons are deterministic regardless
+of which BLAS kernel computed them.
+
+Also unit-tests the shared traversal kernels in ``repro.index.base``
+(CSR expansion, grouped pair distances, hit-pair grouping) that both
+trees are built from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distances import normalize_rows
+from repro.exceptions import InvalidParameterError
+from repro.index import BruteForceIndex, CoverTree, GridIndex, KMeansTree
+from repro.index.base import (
+    NeighborIndex,
+    expand_csr,
+    group_hit_pairs,
+    grouped_pair_distances,
+)
+from repro.testing import make_blobs_on_sphere
+
+EPS = 0.6
+
+# Backends whose batch_range_query takes (Q, eps); the grid fixes eps at
+# construction and is exercised separately.
+BACKENDS = [
+    ("brute_force", lambda: BruteForceIndex(block_size=7)),
+    ("cover_tree", lambda: CoverTree(base=1.6)),
+    ("cover_tree_wide", lambda: CoverTree(base=3.0)),
+    ("kmeans_tree_exact", lambda: KMeansTree(checks_ratio=1.0, seed=0)),
+    ("kmeans_tree_approx", lambda: KMeansTree(checks_ratio=0.3, seed=0)),
+    ("kmeans_tree_tiny_leaves", lambda: KMeansTree(leaf_size=2, branching=2, seed=0)),
+]
+
+IDS = [name for name, _ in BACKENDS]
+
+
+def one_hot_duplicates(n: int, dim: int) -> np.ndarray:
+    """n unit vectors drawn from the dim standard basis vectors (exact)."""
+    X = np.zeros((n, dim))
+    X[np.arange(n), np.arange(n) % dim] = 1.0
+    return X
+
+
+def assert_batch_matches_scalar(index, Q: np.ndarray, eps: float) -> None:
+    rows = index.batch_range_query(Q, eps)
+    assert len(rows) == Q.shape[0]
+    for i, row in enumerate(rows):
+        expected = np.sort(index.range_query(Q[i], eps))
+        assert row.dtype == np.int64
+        assert np.array_equal(row, expected), f"row {i} at eps={eps}"
+    counts = index.batch_range_count(Q, eps)
+    assert np.array_equal(counts, [index.range_count(q, eps) for q in Q])
+
+
+@pytest.mark.parametrize("name,factory", BACKENDS, ids=IDS)
+class TestTreeBatchEdgeCases:
+    def test_empty_batch(self, name, factory):
+        X, _ = make_blobs_on_sphere(10, 2, 8, seed=0)
+        index = factory().build(X)
+        assert index.batch_range_query(np.empty((0, 8)), EPS) == []
+        assert index.batch_range_count(np.empty((0, 8)), EPS).size == 0
+
+    def test_eps_zero_returns_nothing(self, name, factory):
+        # Strict d < 0 can never hit — not even a query equal to an
+        # indexed point. One-hot data keeps every distance exact.
+        X = one_hot_duplicates(30, 8)
+        index = factory().build(X)
+        rows = index.batch_range_query(X, 0.0)
+        assert all(row.size == 0 for row in rows)
+        assert_batch_matches_scalar(index, X, 0.0)
+
+    def test_eps_zero_on_random_data(self, name, factory):
+        X, _ = make_blobs_on_sphere(25, 3, 12, spread=0.2, seed=4)
+        index = factory().build(X)
+        assert_batch_matches_scalar(index, X, 0.0)
+
+    def test_duplicate_points(self, name, factory):
+        # 40 points, 8 distinct values: every hit set has multiplicity.
+        X = one_hot_duplicates(40, 8)
+        index = factory().build(X)
+        for eps in (0.5, 1.0):
+            assert_batch_matches_scalar(index, X, eps)
+
+    def test_all_points_identical(self, name, factory):
+        X = normalize_rows(np.ones((30, 5)))
+        index = factory().build(X)
+        assert_batch_matches_scalar(index, X, 0.4)
+
+    def test_batch_larger_than_dataset(self, name, factory):
+        X, _ = make_blobs_on_sphere(8, 2, 8, spread=0.2, seed=7)  # 16 points
+        index = factory().build(X)
+        Q = np.vstack([X, X, X])  # 48 queries over 16 points
+        assert_batch_matches_scalar(index, Q, EPS)
+
+    def test_single_point_tree(self, name, factory):
+        X = normalize_rows(np.ones((1, 6)))
+        index = factory().build(X)
+        assert_batch_matches_scalar(index, X, EPS)
+        (row,) = index.batch_range_query(X[0], EPS)
+        assert np.array_equal(row, [0])
+
+    def test_queries_not_in_dataset(self, name, factory):
+        X, _ = make_blobs_on_sphere(20, 2, 10, spread=0.2, seed=3)
+        Q, _ = make_blobs_on_sphere(15, 2, 10, spread=0.3, seed=8)
+        index = factory().build(X)
+        assert_batch_matches_scalar(index, Q, EPS)
+
+
+class TestSingleLeafKMeansTree:
+    def test_whole_dataset_in_one_leaf(self):
+        # n <= max(leaf_size, branching) makes the root itself the leaf.
+        X, _ = make_blobs_on_sphere(6, 2, 8, spread=0.2, seed=1)  # 12 points
+        index = KMeansTree(leaf_size=32, seed=0).build(X)
+        assert index.n_leaves == 1
+        assert_batch_matches_scalar(index, X, EPS)
+
+    def test_single_leaf_is_exact_even_at_low_checks(self):
+        X, _ = make_blobs_on_sphere(6, 2, 8, spread=0.2, seed=1)
+        index = KMeansTree(leaf_size=32, checks_ratio=0.01, seed=0).build(X)
+        assert index.n_leaves == 1
+        brute = BruteForceIndex().build(X)
+        for got, exp in zip(
+            index.batch_range_query(X, EPS), brute.batch_range_query(X, EPS)
+        ):
+            assert np.array_equal(got, np.sort(exp))
+
+
+class TestGridEdgeCases:
+    """The grid fixes eps at build; its batch API mirrors the scalar one."""
+
+    def test_eps_zero_rejected_at_construction(self):
+        with pytest.raises(InvalidParameterError):
+            GridIndex(0.0)
+
+    def test_duplicate_points(self):
+        X = one_hot_duplicates(40, 8)
+        grid = GridIndex(0.5, rho=1.0).build(X)
+        rows = grid.batch_range_query(X)
+        for i, row in enumerate(rows):
+            assert np.array_equal(row, grid.exact_range_query(X[i])), i
+
+    def test_batch_larger_than_dataset(self):
+        X, _ = make_blobs_on_sphere(8, 2, 8, spread=0.2, seed=7)
+        grid = GridIndex(EPS).build(X)
+        Q = np.vstack([X, X, X])
+        rows = grid.batch_range_query(Q)
+        for i, row in enumerate(rows):
+            assert np.array_equal(row, grid.exact_range_query(Q[i])), i
+
+    def test_single_point(self):
+        X = normalize_rows(np.ones((1, 6)))
+        grid = GridIndex(EPS).build(X)
+        (row,) = grid.batch_range_query(X)
+        assert np.array_equal(row, [0])
+
+
+class TestTraversalKernels:
+    """The shared CSR/distance/grouping kernels both trees are built on."""
+
+    def test_expand_csr_gathers_every_slice(self):
+        offsets = np.array([0, 2, 2, 5], dtype=np.int64)
+        flat = np.array([10, 11, 20, 21, 22], dtype=np.int64)
+        counts, values = expand_csr(offsets, flat, np.array([2, 0, 1, 2]))
+        assert np.array_equal(counts, [3, 2, 0, 3])
+        assert np.array_equal(values, [20, 21, 22, 10, 11, 20, 21, 22])
+
+    def test_expand_csr_empty_parents(self):
+        offsets = np.array([0, 3], dtype=np.int64)
+        flat = np.array([1, 2, 3], dtype=np.int64)
+        counts, values = expand_csr(offsets, flat, np.empty(0, dtype=np.int64))
+        assert counts.size == 0 and values.size == 0
+
+    def test_group_hit_pairs_sorts_within_rows(self):
+        hit_q = np.array([1, 0, 1, 1, 3], dtype=np.int64)
+        hit_p = np.array([7, 2, 3, 5, 0], dtype=np.int64)
+        rows = group_hit_pairs(hit_q, hit_p, n_points=8, n_queries=4)
+        assert [r.tolist() for r in rows] == [[2], [3, 5, 7], [], [0]]
+
+    def test_group_hit_pairs_empty(self):
+        empty = np.empty(0, dtype=np.int64)
+        rows = group_hit_pairs(empty, empty, n_points=5, n_queries=3)
+        assert [r.tolist() for r in rows] == [[], [], []]
+
+    @pytest.mark.parametrize("squared", [False, True])
+    def test_grouped_pair_distances_dense_and_pairwise_agree(self, squared):
+        rng = np.random.default_rng(0)
+        Q = rng.normal(size=(30, 6))
+        C = rng.normal(size=(12, 6))
+        counts = rng.integers(0, 30, size=12)
+        q_flat = np.concatenate(
+            [rng.choice(30, size=c, replace=False) for c in counts]
+        ).astype(np.int64)
+        offsets = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(counts)]
+        )
+        dense = grouped_pair_distances(
+            Q, q_flat, offsets, C, dense_work_factor=1e9, squared=squared
+        )
+        pairwise = grouped_pair_distances(
+            Q, q_flat, offsets, C, dense_work_factor=0.0, squared=squared
+        )
+        col = np.repeat(np.arange(12), counts)
+        sq = np.sum((Q[q_flat] - C[col]) ** 2, axis=1)
+        expected = sq if squared else np.sqrt(sq)
+        np.testing.assert_allclose(dense, expected, atol=1e-12)
+        np.testing.assert_allclose(pairwise, expected, atol=1e-12)
+
+    def test_grouped_pair_distances_empty(self):
+        empty = np.empty(0, dtype=np.int64)
+        out = grouped_pair_distances(
+            np.zeros((4, 3)), empty, np.zeros(1, dtype=np.int64), np.zeros((0, 3))
+        )
+        assert out.size == 0
+
+
+class TestScalarFallbackBudget:
+    """The approx k-means search truncates by budget; batch must match."""
+
+    def test_over_budget_queries_fall_back_to_scalar(self):
+        # Tiny checks_ratio with a dataset dense enough that every query
+        # reaches more leaves than the budget allows.
+        X, _ = make_blobs_on_sphere(40, 2, 6, spread=0.4, seed=6)
+        index = KMeansTree(
+            checks_ratio=0.05, leaf_size=4, branching=3, seed=0
+        ).build(X)
+        assert_batch_matches_scalar(index, X, 1.2)
+
+    def test_engine_style_batches_match(self):
+        X, _ = make_blobs_on_sphere(30, 3, 10, spread=0.25, seed=2)
+        index = KMeansTree(checks_ratio=0.4, leaf_size=4, seed=0).build(X)
+        got = index.batch_range_query(X[10:50], 0.8)
+        exp = NeighborIndex.batch_range_query(index, X[10:50], 0.8)
+        for g, e in zip(got, exp):
+            assert np.array_equal(g, e)

@@ -7,7 +7,6 @@ documented object protocols without importing submodules.
 import inspect
 
 import numpy as np
-import pytest
 
 import repro
 

@@ -1,6 +1,5 @@
 """Tests for the benchmark workload preparation module."""
 
-import numpy as np
 import pytest
 
 from repro.data.datasets import DATASET_SPECS
