@@ -24,10 +24,9 @@ import pytest
 from conftest import out_path
 
 from repro.distances import normalize_rows
-from repro.experiments.reporting import save_json
 from repro.index import BruteForceIndex, CoverTree, KMeansTree
 from repro.index.base import NeighborIndex
-from repro.testing import make_blobs_on_sphere
+from repro.testing import make_blobs_on_sphere, write_benchmark_rows
 
 EPS = 0.25
 DIM = 16
@@ -96,7 +95,7 @@ def test_tree_batching_speedup(tree_name, n):
         f"{tree_name} n={n}: per-point {t_scalar:.3f}s -> batched "
         f"{t_batch:.3f}s ({speedup:.1f}x); brute-force batch {t_brute:.3f}s"
     )
-    save_json(out_path(f"tree_batching_{tree_name}_n{n}.json"), {"rows": rows})
+    write_benchmark_rows(out_path(f"tree_batching_{tree_name}_n{n}.json"), rows)
 
     # Acceptance criterion: >= 3x at n = 8000 (lenient at the small
     # size, where fixed overheads dominate).

@@ -29,8 +29,17 @@ from repro.experiments.tradeoff import (
     sweep_laf_dbscanpp,
 )
 from repro.experiments.workloads import prepare_workloads
+from repro.index.sharded import EXECUTOR_NAMES, sharded_queries
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for flags that only accept >= 1 (shards, workers)."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1; got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,6 +61,24 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--epochs", type=int, default=40)
         p.add_argument("--json", default=None, help="write rows as JSON here")
+        p.add_argument(
+            "--shards",
+            type=_positive_int,
+            default=None,
+            help="shard the range-query engine across N row shards",
+        )
+        p.add_argument(
+            "--shard-executor",
+            choices=EXECUTOR_NAMES,
+            default="serial",
+            help="how shard queries execute (default: serial)",
+        )
+        p.add_argument(
+            "--shard-workers",
+            type=_positive_int,
+            default=None,
+            help="pool width for the thread/process shard executors",
+        )
 
     p = sub.add_parser("quality", help="Table 3/5: ARI & AMI of all methods")
     common(p, multi_dataset=True)
@@ -182,7 +209,18 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro``."""
     args = build_parser().parse_args(argv)
-    rows = _COMMANDS[args.command](args)
+    if args.shards is not None:
+        # Engine-level sharding: every clusterer that routes
+        # neighborhoods through NeighborhoodCache fans its range queries
+        # across row shards for the duration of the command.
+        with sharded_queries(
+            n_shards=args.shards,
+            executor=args.shard_executor,
+            n_workers=args.shard_workers,
+        ):
+            rows = _COMMANDS[args.command](args)
+    else:
+        rows = _COMMANDS[args.command](args)
     if args.json:
         save_json(args.json, rows)
         print(f"\nwrote {args.json}")

@@ -9,6 +9,7 @@ original DBSCAN on the same data.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import time
 
@@ -17,6 +18,7 @@ import numpy as np
 from repro.clustering.base import Clusterer, ClusteringResult
 from repro.clustering.dbscan import DBSCAN
 from repro.experiments.methods import MethodContext, build_method
+from repro.index.sharded import ShardingConfig, sharded_queries
 from repro.metrics.ari import adjusted_rand_index
 from repro.metrics.mutual_info import adjusted_mutual_info
 
@@ -71,13 +73,28 @@ def run_suite(
     ctx: MethodContext,
     dataset_name: str = "dataset",
     gt_labels: np.ndarray | None = None,
+    sharding: ShardingConfig | None = None,
 ) -> list[RunRecord]:
     """Run a list of methods on one dataset and score against DBSCAN.
 
     ``gt_labels`` may be supplied to avoid recomputing the ground truth;
     when omitted it is derived (and when "DBSCAN" is among the methods,
-    its own timed run provides the labels).
+    its own timed run provides the labels). ``sharding`` scopes an
+    engine sharding configuration to the whole suite, so every
+    cache-routed method fans its range queries across row shards.
     """
+    scope = sharded_queries(sharding) if sharding else contextlib.nullcontext()
+    with scope:
+        return _run_suite(X, method_names, ctx, dataset_name, gt_labels)
+
+
+def _run_suite(
+    X: np.ndarray,
+    method_names: tuple[str, ...],
+    ctx: MethodContext,
+    dataset_name: str,
+    gt_labels: np.ndarray | None,
+) -> list[RunRecord]:
     records: list[RunRecord] = []
     labels_gt = gt_labels
     # DBSCAN first when present, so its labels serve as ground truth.

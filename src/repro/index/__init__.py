@@ -30,6 +30,13 @@ from repro.index.cover_tree import CoverTree
 from repro.index.engine import NeighborhoodCache
 from repro.index.grid import GridIndex
 from repro.index.kmeans_tree import KMeansTree
+from repro.index.sharded import (
+    ShardedIndex,
+    ShardingConfig,
+    set_sharding,
+    sharded_queries,
+    sharding_config,
+)
 
 __all__ = [
     "BruteForceIndex",
@@ -38,4 +45,9 @@ __all__ = [
     "KMeansTree",
     "NeighborIndex",
     "NeighborhoodCache",
+    "ShardedIndex",
+    "ShardingConfig",
+    "set_sharding",
+    "sharded_queries",
+    "sharding_config",
 ]

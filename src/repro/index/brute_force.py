@@ -47,7 +47,9 @@ class BruteForceIndex(NeighborIndex):
 
     def __init__(self, block_size: int = 1024, metric: str | Metric = COSINE) -> None:
         if block_size <= 0:
-            raise InvalidParameterError(f"block_size must be positive; got {block_size}")
+            raise InvalidParameterError(
+                f"block_size must be positive; got {block_size}"
+            )
         self.block_size = block_size
         self.metric = get_metric(metric)
         self._points: np.ndarray | None = None
@@ -58,12 +60,16 @@ class BruteForceIndex(NeighborIndex):
 
     def range_query(self, q: np.ndarray, eps: float) -> np.ndarray:
         self._require_built()
-        dists = self.metric.distance_to_many(np.asarray(q, dtype=np.float64), self._points)
+        dists = self.metric.distance_to_many(
+            np.asarray(q, dtype=np.float64), self._points
+        )
         return np.flatnonzero(dists < eps)
 
     def range_count(self, q: np.ndarray, eps: float) -> int:
         self._require_built()
-        dists = self.metric.distance_to_many(np.asarray(q, dtype=np.float64), self._points)
+        dists = self.metric.distance_to_many(
+            np.asarray(q, dtype=np.float64), self._points
+        )
         return int(np.count_nonzero(dists < eps))
 
     def knn_query(self, q: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
@@ -71,7 +77,9 @@ class BruteForceIndex(NeighborIndex):
         if k <= 0:
             raise InvalidParameterError(f"k must be positive; got {k}")
         k = min(k, self.n_points)
-        dists = self.metric.distance_to_many(np.asarray(q, dtype=np.float64), self._points)
+        dists = self.metric.distance_to_many(
+            np.asarray(q, dtype=np.float64), self._points
+        )
         nearest = np.argpartition(dists, k - 1)[:k]
         order = np.argsort(dists[nearest], kind="stable")
         idx = nearest[order]
@@ -145,7 +153,9 @@ class BruteForceIndex(NeighborIndex):
         """Alias of :meth:`batch_range_query` (pre-engine name)."""
         return self.batch_range_query(Q, eps)
 
-    def range_count_multi_eps(self, Q: np.ndarray, eps_values: np.ndarray) -> np.ndarray:
+    def range_count_multi_eps(
+        self, Q: np.ndarray, eps_values: np.ndarray
+    ) -> np.ndarray:
         """Counts for every (query row, eps value) pair.
 
         Returns shape ``(len(Q), len(eps_values))``. Used by the estimator

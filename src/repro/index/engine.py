@@ -62,6 +62,18 @@ class NeighborhoodCache:
     block_size:
         Maximum queries per batched index call. ``1`` degenerates to the
         per-point path (useful for differential testing).
+    sharding:
+        Optional :class:`~repro.index.sharded.ShardingConfig` for this
+        cache. When omitted, the process-wide configuration installed by
+        :func:`~repro.index.sharded.set_sharding` /
+        :func:`~repro.index.sharded.sharded_queries` applies. When a
+        configuration is active and ``index`` is a recognised single
+        backend, the cache transparently rebuilds it as a
+        :class:`~repro.index.sharded.ShardedIndex` over the same points —
+        this is how every clusterer that routes neighborhoods through the
+        engine gains sharded execution without code changes. Results are
+        bit-identical for exact backends (a neighborhood is the disjoint
+        union of its per-shard neighborhoods).
     evict_on_fetch:
         When True, a neighborhood is released as soon as it is served.
         Safe (and memory-bounding: only prefetched-but-unserved results
@@ -77,11 +89,25 @@ class NeighborhoodCache:
         X: np.ndarray,
         eps: float,
         block_size: int = DEFAULT_QUERY_BLOCK,
+        sharding=None,
         evict_on_fetch: bool = False,
     ) -> None:
         if block_size <= 0:
-            raise InvalidParameterError(f"block_size must be positive; got {block_size}")
-        self._index = index
+            raise InvalidParameterError(
+                f"block_size must be positive; got {block_size}"
+            )
+        # Imported here so the engine stays importable without pulling the
+        # whole backend registry in at module-import time.
+        from repro.index.sharded import maybe_shard
+
+        self._index = maybe_shard(index, sharding)
+        # When sharding wrapped the caller's index, the wrapper (and its
+        # worker pool / shared memory, for the process executor) belongs
+        # to this cache: close() releases it deterministically. Hosts
+        # that never call close still get prompt release when the cache
+        # goes out of scope at the end of a fit (the executor's
+        # weakref.finalize fires on refcount collection).
+        self._owns_index = self._index is not index
         self._X = np.asarray(X, dtype=np.float64)
         self.eps = float(eps)
         self.block_size = int(block_size)
@@ -157,6 +183,27 @@ class NeighborhoodCache:
         self._ever_computed[ids] = True
         self.n_computed += len(batch)
         self.n_blocks += 1
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release a sharded index this cache created. Idempotent.
+
+        A no-op when the cache uses the caller's index directly — the
+        caller owns that one.
+        """
+        if self._owns_index:
+            closer = getattr(self._index, "close", None)
+            if closer is not None:
+                closer()
+
+    def __enter__(self) -> "NeighborhoodCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Statistics

@@ -104,6 +104,9 @@ class KMeansTree(NeighborIndex):
         self.branching = int(branching)
         self.checks_ratio = float(checks_ratio)
         self.leaf_size = int(leaf_size)
+        # Remembered for the sharded backend's rebuild spec (a live
+        # Generator seed marks the tree as non-reconstructible).
+        self.seed = seed
         self._rng = ensure_rng(seed)
         self._points: np.ndarray | None = None
         self._root: _Node | None = None

@@ -1,0 +1,829 @@
+"""Sharded execution backend for the batched range-query engine.
+
+:class:`ShardedIndex` partitions the dataset into contiguous row shards,
+fits one inner index per shard (any registered backend: brute force,
+cover tree, k-means tree, grid), and answers the batched query API by
+fanning query blocks across the shards through a pluggable executor:
+
+* ``"serial"``  — one shard after another in the calling process (the
+  reference executor every other one is differentially tested against);
+* ``"thread"``  — a thread pool; NumPy releases the GIL inside BLAS, so
+  shard GEMMs genuinely overlap on multi-core machines;
+* ``"process"`` — a ``multiprocessing`` pool whose workers attach the
+  dataset through :mod:`multiprocessing.shared_memory` (one row-major
+  float64 segment written at build time), so the data matrix is never
+  pickled; each worker rebuilds its shard's inner index lazily from the
+  shared segment and returns compact CSR hit arrays.
+
+Per-shard results arrive as CSR triples in *shard-local* row numbering;
+the merge kernels below (:func:`merge_shard_rows`, :func:`merge_knn_rows`)
+re-index them into global row ids and reassemble per-query rows that are
+sorted, deduplicated and bit-identical to the single-index answer. Shards
+are contiguous and disjoint, so re-indexing is one offset add per shard
+and deduplication can never actually drop anything — the kernels still
+enforce both properties so they hold for arbitrary (even overlapping)
+splits, which is what the property-based tests exercise.
+
+The module also hosts the engine-level sharding configuration:
+:func:`set_sharding` / :func:`sharded_queries` install a
+:class:`ShardingConfig` that :class:`~repro.index.engine.NeighborhoodCache`
+consults at construction time, transparently wrapping any recognised
+single index into a :class:`ShardedIndex` — every clusterer that routes
+neighborhoods through the engine gains sharding with zero changes to its
+code.
+
+Exactness: range queries and counts are exact for exact inner backends
+(a point's eps-neighborhood is the disjoint union of its per-shard
+neighborhoods). KNN is a per-shard candidate merge: the returned
+*distances* are exact for exact inner backends, and the returned ids
+follow the deterministic (distance, global index) order — under exactly
+tied distances (duplicated points) the id sequence may therefore differ
+from a single brute-force index, whose tie order is argpartition-
+arbitrary. Approximate inner backends (k-means tree below
+``checks_ratio=1.0``) prune per shard and may surface different
+candidates than one big tree — same contract as any partitioned ANN
+index.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import weakref
+from collections.abc import Sequence
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.index.base import NeighborIndex
+from repro.index.brute_force import BruteForceIndex
+from repro.index.cover_tree import CoverTree
+from repro.index.grid import GridIndex
+from repro.index.kmeans_tree import KMeansTree
+
+__all__ = [
+    "EXECUTOR_NAMES",
+    "INNER_BACKENDS",
+    "ShardedIndex",
+    "ShardingConfig",
+    "backend_spec_of",
+    "concat_shard_rows",
+    "csr_to_rows",
+    "make_inner_backend",
+    "maybe_shard",
+    "merge_knn_rows",
+    "merge_shard_rows",
+    "rows_to_csr",
+    "set_sharding",
+    "shard_offsets",
+    "sharded_queries",
+    "sharding_config",
+]
+
+#: Default number of query rows fanned out per executor round.
+DEFAULT_QUERY_BLOCK = 2048
+
+EXECUTOR_NAMES = ("serial", "thread", "process")
+
+#: Registered inner backends, constructible by name in worker processes.
+INNER_BACKENDS = {
+    "brute_force": BruteForceIndex,
+    "cover_tree": CoverTree,
+    "grid": GridIndex,
+    "kmeans_tree": KMeansTree,
+}
+
+
+def make_inner_backend(name: str, kwargs: dict | None = None):
+    """Construct a registered inner backend from its picklable spec."""
+    cls = INNER_BACKENDS.get(name)
+    if cls is None:
+        raise InvalidParameterError(
+            f"unknown inner backend {name!r}; "
+            f"available: {', '.join(sorted(INNER_BACKENDS))}"
+        )
+    return cls(**(kwargs or {}))
+
+
+def backend_spec_of(index) -> tuple[str, dict] | None:
+    """The ``(name, kwargs)`` spec reconstructing ``index``'s configuration.
+
+    Returns None for index types (or states, e.g. a k-means tree seeded
+    with a live Generator) that cannot be rebuilt from a picklable spec —
+    callers leave such indexes unsharded rather than guessing.
+    """
+    if isinstance(index, BruteForceIndex):
+        return "brute_force", {
+            "block_size": index.block_size,
+            "metric": index.metric.name,
+        }
+    if isinstance(index, CoverTree):
+        return "cover_tree", {"base": index.base}
+    if isinstance(index, KMeansTree):
+        seed = getattr(index, "seed", None)
+        if not (seed is None or isinstance(seed, int)):
+            return None
+        return "kmeans_tree", {
+            "branching": index.branching,
+            "checks_ratio": index.checks_ratio,
+            "leaf_size": index.leaf_size,
+            "seed": seed,
+        }
+    if isinstance(index, GridIndex):
+        return "grid", {"eps": index.eps, "rho": index.rho}
+    return None
+
+
+# ----------------------------------------------------------------------
+# Partitioning and CSR merge kernels
+# ----------------------------------------------------------------------
+
+
+def shard_offsets(n_points: int, n_shards: int) -> np.ndarray:
+    """Balanced contiguous row partition: offsets of length ``n_shards + 1``.
+
+    Shard ``s`` owns rows ``[offsets[s], offsets[s + 1])``; the first
+    ``n_points % n_shards`` shards get one extra row. With
+    ``n_shards > n_points`` the trailing shards are empty — legal, they
+    simply contribute nothing.
+    """
+    if n_shards < 1:
+        raise InvalidParameterError(f"n_shards must be >= 1; got {n_shards}")
+    if n_points < 0:
+        raise InvalidParameterError(f"n_points must be >= 0; got {n_points}")
+    base, extra = divmod(n_points, n_shards)
+    sizes = np.full(n_shards, base, dtype=np.int64)
+    sizes[:extra] += 1
+    offsets = np.zeros(n_shards + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    return offsets
+
+
+def rows_to_csr(rows: Sequence[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Pack ragged per-query rows into ``(indptr, flat)`` CSR arrays.
+
+    The compact wire format shard workers return: two flat arrays pickle
+    an order of magnitude cheaper than a list of small ndarrays.
+    """
+    indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+    for i, row in enumerate(rows):
+        indptr[i + 1] = indptr[i] + len(row)
+    if indptr[-1] == 0:
+        return indptr, np.empty(0, dtype=np.int64)
+    flat = np.concatenate([np.asarray(row, dtype=np.int64) for row in rows])
+    return indptr, flat
+
+
+def csr_to_rows(indptr: np.ndarray, flat: np.ndarray) -> list[np.ndarray]:
+    """Inverse of :func:`rows_to_csr`: slice flat storage back into rows."""
+    return [flat[indptr[i] : indptr[i + 1]] for i in range(len(indptr) - 1)]
+
+
+def merge_shard_rows(
+    per_shard_rows: Sequence[Sequence[np.ndarray]],
+    shard_starts: Sequence[int],
+    n_queries: int | None = None,
+) -> list[np.ndarray]:
+    """Merge shard-local hit rows into global, sorted, deduplicated rows.
+
+    ``per_shard_rows[s][q]`` holds query ``q``'s hits within shard ``s``
+    in shard-local numbering; ``shard_starts[s]`` is the shard's first
+    global row. Row ``q`` of the result is the sorted union of
+    ``per_shard_rows[s][q] + shard_starts[s]`` over all shards. For the
+    disjoint contiguous shards :class:`ShardedIndex` produces, the union
+    is a plain concatenation — but the kernel deduplicates regardless,
+    so it is correct for arbitrary overlapping splits too.
+    """
+    if n_queries is None:
+        n_queries = len(per_shard_rows[0]) if per_shard_rows else 0
+    starts = [np.int64(s) for s in shard_starts]
+    merged: list[np.ndarray] = []
+    for q in range(n_queries):
+        parts = [
+            np.asarray(rows[q], dtype=np.int64) + start
+            for rows, start in zip(per_shard_rows, starts)
+            if len(rows[q])
+        ]
+        if not parts:
+            merged.append(np.empty(0, dtype=np.int64))
+        elif len(parts) == 1:
+            merged.append(np.unique(parts[0]))
+        else:
+            merged.append(np.unique(np.concatenate(parts)))
+    return merged
+
+
+def concat_shard_rows(
+    per_shard_rows: Sequence[Sequence[np.ndarray]],
+    shard_starts: Sequence[int],
+    n_queries: int,
+) -> list[np.ndarray]:
+    """Fast-path merge for disjoint ascending shards with sorted rows.
+
+    When shard ``s`` owns the contiguous global range starting at
+    ``shard_starts[s]``, the starts ascend, and every per-shard row is
+    sorted (true for all registered inner backends), the global row is a
+    plain offset-add concatenation — already sorted and duplicate-free,
+    no per-row sort needed. :func:`merge_shard_rows` is the general
+    kernel the property tests prove for arbitrary (even overlapping)
+    splits; this one skips its ``np.unique`` on the hot path.
+    """
+    starts = [np.int64(s) for s in shard_starts]
+    merged: list[np.ndarray] = []
+    for q in range(n_queries):
+        parts = [
+            np.asarray(rows[q], dtype=np.int64) + start
+            for rows, start in zip(per_shard_rows, starts)
+            if len(rows[q])
+        ]
+        if not parts:
+            merged.append(np.empty(0, dtype=np.int64))
+        elif len(parts) == 1:
+            merged.append(parts[0])
+        else:
+            merged.append(np.concatenate(parts))
+    return merged
+
+
+def merge_knn_rows(
+    per_shard_idx: Sequence[Sequence[np.ndarray]],
+    per_shard_dist: Sequence[Sequence[np.ndarray]],
+    shard_starts: Sequence[int],
+    k: int,
+    n_queries: int | None = None,
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Merge per-shard KNN candidates into global top-``k`` rows.
+
+    Every shard contributes its local top-``min(k, shard_size)``; the
+    global answer is the ``k`` best candidates overall, ordered by
+    ascending distance with ties broken by ascending global index (a
+    deterministic order regardless of how candidates were split across
+    shards).
+    """
+    if n_queries is None:
+        n_queries = len(per_shard_idx[0]) if per_shard_idx else 0
+    starts = [np.int64(s) for s in shard_starts]
+    idx_rows: list[np.ndarray] = []
+    dist_rows: list[np.ndarray] = []
+    for q in range(n_queries):
+        idx_parts = [
+            np.asarray(rows[q], dtype=np.int64) + start
+            for rows, start in zip(per_shard_idx, starts)
+            if len(rows[q])
+        ]
+        if not idx_parts:
+            idx_rows.append(np.empty(0, dtype=np.int64))
+            dist_rows.append(np.empty(0))
+            continue
+        idx = np.concatenate(idx_parts)
+        dist = np.concatenate(
+            [
+                np.asarray(rows[q], dtype=np.float64)
+                for rows in per_shard_dist
+                if len(rows[q])
+            ]
+        )
+        order = np.lexsort((idx, dist))[:k]
+        idx_rows.append(idx[order])
+        dist_rows.append(dist[order])
+    return idx_rows, dist_rows
+
+
+# ----------------------------------------------------------------------
+# Shard query operations (module-level so process pools can pickle them)
+# ----------------------------------------------------------------------
+
+
+def _op_range(index, Q: np.ndarray, eps: float):
+    rows = index.batch_range_query(Q, eps)
+    return rows_to_csr(rows)
+
+
+def _op_count(index, Q: np.ndarray, eps: float):
+    counter = getattr(index, "batch_range_count", None)
+    if counter is not None:
+        return np.asarray(counter(Q, eps), dtype=np.int64)
+    rows = index.batch_range_query(Q, eps)
+    return np.array([len(row) for row in rows], dtype=np.int64)
+
+
+def _op_knn(index, Q: np.ndarray, k: int):
+    query = getattr(index, "batch_knn_query", None)
+    if query is None:
+        raise InvalidParameterError(
+            f"inner backend {type(index).__name__} does not support KNN queries"
+        )
+    idx_rows, dist_rows = query(Q, k)
+    indptr, flat_idx = rows_to_csr(idx_rows)
+    flat_dist = (
+        np.concatenate([np.asarray(r, dtype=np.float64) for r in dist_rows])
+        if indptr[-1]
+        else np.empty(0)
+    )
+    return indptr, flat_idx, flat_dist
+
+
+_SHARD_OPS = {"range": _op_range, "count": _op_count, "knn": _op_knn}
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+
+
+class _SerialExecutor:
+    """Runs shard calls one after another in the calling process."""
+
+    def __init__(self, indexes: dict[int, object]) -> None:
+        self._indexes = indexes
+
+    def run(self, op: str, calls: list[tuple[int, tuple]]) -> list:
+        fn = _SHARD_OPS[op]
+        return [fn(self._indexes[shard_id], *args) for shard_id, args in calls]
+
+    def close(self) -> None:
+        pass
+
+
+class _ThreadExecutor:
+    """Runs shard calls on a thread pool (BLAS releases the GIL)."""
+
+    def __init__(self, indexes: dict[int, object], n_workers: int) -> None:
+        self._indexes = indexes
+        self._pool = ThreadPoolExecutor(max_workers=n_workers)
+
+    def run(self, op: str, calls: list[tuple[int, tuple]]) -> list:
+        fn = _SHARD_OPS[op]
+        futures = [
+            self._pool.submit(fn, self._indexes[shard_id], *args)
+            for shard_id, args in calls
+        ]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        self._pool.shutdown()
+
+
+# Worker-process state, populated once per worker by _worker_init.
+_WORKER_STATE: dict = {}
+
+
+def _worker_init(
+    shm_name: str,
+    shape: tuple[int, int],
+    dtype_str: str,
+    bounds: tuple[tuple[int, int], ...],
+    inner_name: str,
+    inner_kwargs: dict,
+) -> None:
+    """Attach the shared dataset segment and stash the shard specs."""
+    try:
+        import threadpoolctl
+
+        # One BLAS thread per worker: the parallelism budget is spent on
+        # processes, and oversubscription (workers x BLAS threads) is the
+        # classic way a process pool ends up slower than serial.
+        limiter = threadpoolctl.threadpool_limits(limits=1)
+    except Exception:
+        limiter = None
+    shm = shared_memory.SharedMemory(name=shm_name)
+    X = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=shm.buf)
+    _WORKER_STATE.clear()
+    _WORKER_STATE.update(
+        shm=shm,
+        X=X,
+        bounds=bounds,
+        inner=(inner_name, dict(inner_kwargs)),
+        indexes={},
+        limiter=limiter,
+    )
+
+
+def _worker_shard_index(shard_id: int):
+    """The worker's inner index for one shard, built lazily from shm."""
+    index = _WORKER_STATE["indexes"].get(shard_id)
+    if index is None:
+        lo, hi = _WORKER_STATE["bounds"][shard_id]
+        name, kwargs = _WORKER_STATE["inner"]
+        index = make_inner_backend(name, kwargs).build(_WORKER_STATE["X"][lo:hi])
+        _WORKER_STATE["indexes"][shard_id] = index
+    return index
+
+
+def _worker_call(task: tuple[str, int, tuple]):
+    op, shard_id, args = task
+    return _SHARD_OPS[op](_worker_shard_index(shard_id), *args)
+
+
+def _release_process_resources(pool, shm) -> None:
+    pool.terminate()
+    pool.join()
+    shm.close()
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def _start_method() -> str:
+    """Prefer fork where available: no interpreter reboot per worker."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else methods[0]
+
+
+class _ProcessExecutor:
+    """Runs shard calls on a multiprocessing pool over shared memory.
+
+    The dataset is written once into a ``SharedMemory`` segment; workers
+    attach it in their initializer and build their shard's inner index
+    lazily on first use. Only query blocks travel to the workers and only
+    compact CSR result arrays travel back — the data matrix itself is
+    never pickled.
+    """
+
+    def __init__(
+        self,
+        X: np.ndarray,
+        bounds: tuple[tuple[int, int], ...],
+        inner_name: str,
+        inner_kwargs: dict,
+        n_workers: int,
+    ) -> None:
+        self._shm = shared_memory.SharedMemory(create=True, size=X.nbytes)
+        np.ndarray(X.shape, dtype=X.dtype, buffer=self._shm.buf)[:] = X
+        ctx = multiprocessing.get_context(_start_method())
+        self._pool = ctx.Pool(
+            processes=n_workers,
+            initializer=_worker_init,
+            initargs=(
+                self._shm.name,
+                X.shape,
+                X.dtype.str,
+                bounds,
+                inner_name,
+                inner_kwargs,
+            ),
+        )
+        # Guaranteed teardown even when close() is never called: finalize
+        # must not reference self, or it would keep the executor alive.
+        self._finalizer = weakref.finalize(
+            self, _release_process_resources, self._pool, self._shm
+        )
+
+    def run(self, op: str, calls: list[tuple[int, tuple]]) -> list:
+        tasks = [(op, shard_id, args) for shard_id, args in calls]
+        return self._pool.map(_worker_call, tasks, chunksize=1)
+
+    def close(self) -> None:
+        self._finalizer()
+
+
+# ----------------------------------------------------------------------
+# The sharded index
+# ----------------------------------------------------------------------
+
+
+class ShardedIndex(NeighborIndex):
+    """Row-sharded composite index behind the batched query API.
+
+    Parameters
+    ----------
+    inner:
+        Name of the registered inner backend fitted per shard
+        (``"brute_force"``, ``"cover_tree"``, ``"kmeans_tree"``,
+        ``"grid"``), or a zero-argument callable returning an unbuilt
+        index (serial/thread executors only — worker processes can only
+        rebuild from a picklable name + kwargs spec).
+    inner_kwargs:
+        Constructor arguments for the named inner backend (e.g. the
+        grid's ``eps`` / ``rho``).
+    n_shards:
+        Number of contiguous row shards (>= 1). Empty shards (when
+        ``n_shards > n_points``) are skipped.
+    executor:
+        ``"serial"``, ``"thread"`` or ``"process"``.
+    n_workers:
+        Pool width for the thread/process executors; defaults to
+        ``min(n_live_shards, cpu_count)``.
+    query_block:
+        Query rows fanned out per executor round; bounds both the
+        per-task pickle size and peak memory of the merge.
+    """
+
+    def __init__(
+        self,
+        inner="brute_force",
+        inner_kwargs: dict | None = None,
+        n_shards: int = 4,
+        executor: str = "serial",
+        n_workers: int | None = None,
+        query_block: int = DEFAULT_QUERY_BLOCK,
+    ) -> None:
+        if n_shards < 1:
+            raise InvalidParameterError(f"n_shards must be >= 1; got {n_shards}")
+        if executor not in EXECUTOR_NAMES:
+            raise InvalidParameterError(
+                f"executor must be one of {EXECUTOR_NAMES}; got {executor!r}"
+            )
+        if n_workers is not None and n_workers < 1:
+            raise InvalidParameterError(f"n_workers must be >= 1; got {n_workers}")
+        if query_block < 1:
+            raise InvalidParameterError(f"query_block must be >= 1; got {query_block}")
+        if callable(inner):
+            if executor == "process":
+                raise InvalidParameterError(
+                    "the process executor rebuilds inner indexes in worker "
+                    "processes and therefore needs a registered backend "
+                    "name, not a factory callable"
+                )
+        elif inner not in INNER_BACKENDS:
+            raise InvalidParameterError(
+                f"unknown inner backend {inner!r}; "
+                f"available: {', '.join(sorted(INNER_BACKENDS))}"
+            )
+        self.inner = inner
+        self.inner_kwargs = dict(inner_kwargs or {})
+        self.n_shards = int(n_shards)
+        self.executor = executor
+        self.n_workers = n_workers
+        self.query_block = int(query_block)
+        self._points: np.ndarray | None = None
+        self._offsets: np.ndarray | None = None
+        self._live: list[tuple[int, int, int]] = []  # (shard_id, lo, hi)
+        self._executor_obj = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _make_inner(self):
+        if callable(self.inner):
+            return self.inner()
+        return make_inner_backend(self.inner, self.inner_kwargs)
+
+    def build(self, X: np.ndarray) -> "ShardedIndex":
+        X = np.ascontiguousarray(np.asarray(X, dtype=np.float64))
+        if X.ndim != 2:
+            raise InvalidParameterError(f"X must be 2-d; got shape {X.shape}")
+        self.close()
+        self._points = X
+        self._offsets = shard_offsets(X.shape[0], self.n_shards)
+        self._live = [
+            (s, int(self._offsets[s]), int(self._offsets[s + 1]))
+            for s in range(self.n_shards)
+            if self._offsets[s + 1] > self._offsets[s]
+        ]
+        n_workers = self.n_workers or max(
+            1, min(len(self._live) or 1, os.cpu_count() or 1)
+        )
+        if not self._live:
+            # Zero live shards (empty dataset): nothing to execute, and a
+            # zero-byte SharedMemory segment is illegal — every executor
+            # degenerates to the task-free serial one.
+            self._executor_obj = _SerialExecutor({})
+        elif self.executor == "process":
+            bounds = tuple((lo, hi) for _, lo, hi in self._live)
+            # Re-key shard ids to positions in the live list so worker
+            # bounds index directly.
+            self._live = [(pos, lo, hi) for pos, (_, lo, hi) in enumerate(self._live)]
+            self._executor_obj = _ProcessExecutor(
+                X, bounds, self.inner, self.inner_kwargs, n_workers
+            )
+        else:
+            indexes = {
+                s: self._make_inner().build(X[lo:hi]) for s, lo, hi in self._live
+            }
+            if self.executor == "thread":
+                self._executor_obj = _ThreadExecutor(indexes, n_workers)
+            else:
+                self._executor_obj = _SerialExecutor(indexes)
+        return self
+
+    def close(self) -> None:
+        """Release executor resources (pool, shared memory). Idempotent."""
+        if self._executor_obj is not None:
+            self._executor_obj.close()
+            self._executor_obj = None
+
+    def __enter__(self) -> "ShardedIndex":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def n_live_shards(self) -> int:
+        """Number of non-empty shards after :meth:`build`."""
+        self._require_built()
+        return len(self._live)
+
+    def _require_executor(self):
+        self._require_built()
+        if self._executor_obj is None:
+            raise NotFittedError(
+                "ShardedIndex has been closed; call build() again to reopen"
+            )
+        return self._executor_obj
+
+    # ------------------------------------------------------------------
+    # Batched queries (the native forms; scalars route through them)
+    # ------------------------------------------------------------------
+
+    def batch_range_query(self, Q: np.ndarray, eps: float) -> list[np.ndarray]:
+        executor = self._require_executor()
+        Q = self._as_query_matrix(Q)
+        n_queries = Q.shape[0]
+        out: list[np.ndarray] = []
+        starts = [lo for _, lo, _ in self._live]
+        for block_lo in range(0, n_queries, self.query_block):
+            Qb = Q[block_lo : block_lo + self.query_block]
+            if not self._live:
+                out.extend(np.empty(0, dtype=np.int64) for _ in range(Qb.shape[0]))
+                continue
+            calls = [(shard_id, (Qb, eps)) for shard_id, _, _ in self._live]
+            results = executor.run("range", calls)
+            per_shard = [csr_to_rows(indptr, flat) for indptr, flat in results]
+            # Registered backends return sorted rows over disjoint
+            # ascending shards: concatenation is the merged answer. A
+            # factory inner makes no such promise and takes the general
+            # sort-and-dedup kernel.
+            if isinstance(self.inner, str):
+                out.extend(concat_shard_rows(per_shard, starts, Qb.shape[0]))
+            else:
+                out.extend(merge_shard_rows(per_shard, starts, n_queries=Qb.shape[0]))
+        return out
+
+    def batch_range_count(self, Q: np.ndarray, eps: float) -> np.ndarray:
+        executor = self._require_executor()
+        Q = self._as_query_matrix(Q)
+        n_queries = Q.shape[0]
+        counts = np.zeros(n_queries, dtype=np.int64)
+        for block_lo in range(0, n_queries, self.query_block):
+            block_hi = min(block_lo + self.query_block, n_queries)
+            Qb = Q[block_lo:block_hi]
+            if not self._live:
+                continue
+            calls = [(shard_id, (Qb, eps)) for shard_id, _, _ in self._live]
+            for shard_counts in executor.run("count", calls):
+                counts[block_lo:block_hi] += shard_counts
+        return counts
+
+    def batch_knn_query(
+        self, Q: np.ndarray, k: int
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        executor = self._require_executor()
+        if k <= 0:
+            raise InvalidParameterError(f"k must be positive; got {k}")
+        Q = self._as_query_matrix(Q)
+        n_queries = Q.shape[0]
+        idx_out: list[np.ndarray] = []
+        dist_out: list[np.ndarray] = []
+        starts = [lo for _, lo, _ in self._live]
+        for block_lo in range(0, n_queries, self.query_block):
+            Qb = Q[block_lo : block_lo + self.query_block]
+            if not self._live:
+                idx_out.extend(np.empty(0, dtype=np.int64) for _ in range(Qb.shape[0]))
+                dist_out.extend(np.empty(0) for _ in range(Qb.shape[0]))
+                continue
+            calls = [
+                (shard_id, (Qb, min(k, hi - lo))) for shard_id, lo, hi in self._live
+            ]
+            results = executor.run("knn", calls)
+            per_shard_idx = [
+                csr_to_rows(indptr, flat_idx) for indptr, flat_idx, _ in results
+            ]
+            per_shard_dist = [
+                csr_to_rows(indptr, flat_dist) for indptr, _, flat_dist in results
+            ]
+            idx_rows, dist_rows = merge_knn_rows(
+                per_shard_idx, per_shard_dist, starts, k, n_queries=Qb.shape[0]
+            )
+            idx_out.extend(idx_rows)
+            dist_out.extend(dist_rows)
+        return idx_out, dist_out
+
+    # ------------------------------------------------------------------
+    # Scalar queries (single-row batches)
+    # ------------------------------------------------------------------
+
+    def range_query(self, q: np.ndarray, eps: float) -> np.ndarray:
+        (row,) = self.batch_range_query(np.asarray(q, dtype=np.float64)[None, :], eps)
+        return row
+
+    def range_count(self, q: np.ndarray, eps: float) -> int:
+        (count,) = self.batch_range_count(np.asarray(q, dtype=np.float64)[None, :], eps)
+        return int(count)
+
+    def knn_query(self, q: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        idx_rows, dist_rows = self.batch_knn_query(
+            np.asarray(q, dtype=np.float64)[None, :], k
+        )
+        return idx_rows[0], dist_rows[0]
+
+
+# ----------------------------------------------------------------------
+# Engine-level sharding configuration
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardingConfig:
+    """How :class:`~repro.index.engine.NeighborhoodCache` shards queries."""
+
+    n_shards: int = 4
+    executor: str = "serial"
+    n_workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise InvalidParameterError(f"n_shards must be >= 1; got {self.n_shards}")
+        if self.executor not in EXECUTOR_NAMES:
+            raise InvalidParameterError(
+                f"executor must be one of {EXECUTOR_NAMES}; got {self.executor!r}"
+            )
+        if self.n_workers is not None and self.n_workers < 1:
+            raise InvalidParameterError(
+                f"n_workers must be >= 1; got {self.n_workers}"
+            )
+
+
+_ACTIVE_SHARDING: ShardingConfig | None = None
+
+
+def set_sharding(config: ShardingConfig | None) -> ShardingConfig | None:
+    """Install (or clear, with None) the process-wide sharding config.
+
+    Returns the previous configuration so callers can restore it.
+    """
+    global _ACTIVE_SHARDING
+    if config is not None and not isinstance(config, ShardingConfig):
+        raise InvalidParameterError(
+            f"config must be a ShardingConfig or None; got {type(config).__name__}"
+        )
+    previous = _ACTIVE_SHARDING
+    _ACTIVE_SHARDING = config
+    return previous
+
+
+def sharding_config() -> ShardingConfig | None:
+    """The active engine sharding configuration (None when disabled)."""
+    return _ACTIVE_SHARDING
+
+
+@contextmanager
+def sharded_queries(
+    config: ShardingConfig | None = None,
+    *,
+    n_shards: int = 4,
+    executor: str = "serial",
+    n_workers: int | None = None,
+):
+    """Scope an engine sharding configuration to a ``with`` block.
+
+    Pass a prebuilt :class:`ShardingConfig`, or the keyword fields of
+    one. The previous configuration is restored on exit even when the
+    body raises.
+    """
+    if config is None:
+        config = ShardingConfig(
+            n_shards=n_shards, executor=executor, n_workers=n_workers
+        )
+    previous = set_sharding(config)
+    try:
+        yield config
+    finally:
+        set_sharding(previous)
+
+
+def maybe_shard(index, config: ShardingConfig | None = None):
+    """Wrap a fitted single index per the active sharding configuration.
+
+    Returns ``index`` unchanged when sharding is disabled, when the index
+    is already sharded, or when its type has no picklable rebuild spec
+    (custom user indexes keep working, just unsharded). Otherwise builds
+    a :class:`ShardedIndex` over the same points with per-shard copies of
+    the index's configuration.
+    """
+    if config is None:
+        config = sharding_config()
+    if config is None or isinstance(index, ShardedIndex):
+        return index
+    spec = backend_spec_of(index)
+    if spec is None:
+        return index
+    points = getattr(index, "_points", None)
+    if points is None:
+        return index
+    name, kwargs = spec
+    sharded = ShardedIndex(
+        inner=name,
+        inner_kwargs=kwargs,
+        n_shards=config.n_shards,
+        executor=config.executor,
+        n_workers=config.n_workers,
+    )
+    return sharded.build(points)

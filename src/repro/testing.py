@@ -17,7 +17,29 @@ import numpy as np
 
 from repro.distances import normalize_rows
 
-__all__ = ["canonical", "make_blobs_on_sphere", "reference_dbscan"]
+__all__ = [
+    "canonical",
+    "make_blobs_on_sphere",
+    "reference_dbscan",
+    "write_benchmark_rows",
+]
+
+
+def write_benchmark_rows(path: str, rows: list[dict]) -> str:
+    """Write one benchmark's measured rows as ``{"rows": [...]}`` JSON.
+
+    The single writer shared by every micro-benchmark that feeds the CI
+    regression gate (``benchmarks/check_regression.py`` expects exactly
+    this shape); delegates to the atomic
+    :func:`repro.experiments.reporting.save_json` so an interrupted run
+    never leaves a torn file. Returns ``path`` for convenience.
+    """
+    # Imported lazily: repro.testing stays importable without dragging in
+    # the experiments package.
+    from repro.experiments.reporting import save_json
+
+    save_json(path, {"rows": list(rows)})
+    return path
 
 
 def reference_dbscan(X: np.ndarray, eps: float, tau: int) -> np.ndarray:

@@ -34,6 +34,24 @@ class TestParser:
         args = build_parser().parse_args(["missed", "--alpha", "2.5"])
         assert args.alpha == 2.5
 
+    def test_sharding_flags(self):
+        args = build_parser().parse_args(
+            ["timing", "--shards", "4", "--shard-executor", "process",
+             "--shard-workers", "2"]
+        )
+        assert args.shards == 4
+        assert args.shard_executor == "process"
+        assert args.shard_workers == 2
+
+    def test_sharding_defaults_off(self):
+        args = build_parser().parse_args(["timing"])
+        assert args.shards is None
+        assert args.shard_executor == "serial"
+
+    def test_invalid_shard_executor_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["timing", "--shard-executor", "gpu"])
+
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["optimize"])
@@ -79,3 +97,15 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "MC/TC" in out
+
+    def test_grid_with_engine_sharding(self, capsys):
+        from repro.index import sharding_config
+
+        code = main(["grid", "--datasets", "MS-50k", *FAST,
+                     "--eps-values", "0.5", "--tau-values", "3",
+                     "--shards", "3", "--shard-executor", "thread"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(noise ratio, #clusters)" in out
+        # The configuration was scoped to the command, not left behind.
+        assert sharding_config() is None

@@ -76,3 +76,17 @@ class TestRunSuite:
         record = run_suite(data, ("DBSCAN",), ctx)[0]
         row = record.as_row()
         assert {"method", "dataset", "eps", "tau", "time_s", "ARI", "AMI"} <= set(row)
+
+    def test_sharded_suite_matches_unsharded(self, data):
+        from repro.index import ShardingConfig, sharding_config
+
+        ctx = MethodContext(eps=0.5, tau=5, estimator=ExactCardinalityEstimator())
+        baseline = run_suite(data, ("DBSCAN",), ctx)[0]
+        sharded = run_suite(
+            data, ("DBSCAN",), ctx, sharding=ShardingConfig(n_shards=3)
+        )[0]
+        assert sharded.n_clusters == baseline.n_clusters
+        assert sharded.noise_ratio == baseline.noise_ratio
+        assert sharded.ari == pytest.approx(baseline.ari)
+        # Scoped to the suite, not left installed process-wide.
+        assert sharding_config() is None
