@@ -17,6 +17,13 @@ non-numeric field plus ``n`` / ``dim`` / ``eps``), so reordering rows or
 adding new configurations never produces a false failure; a baseline
 row that disappeared from the fresh file does.
 
+Parallel speedups are runner-*class* comparable, not machine-proof: a
+baseline measured on a 4-core runner is meaningless on a 1-core dev
+container. Rows that record ``usable_cpus`` are therefore gated only
+when the fresh run has at least as many usable CPUs as the baseline
+run; otherwise the row is reported as skipped (and still counts as
+present, so a silently-vanished benchmark keeps failing).
+
 A baseline without a fresh counterpart fails too: that means the
 benchmark silently stopped running, which is itself a regression. An
 unparseable fresh file fails with a clear message (the writers use
@@ -54,8 +61,14 @@ class Finding:
     baseline: float
     fresh: float | None
     ok: bool
+    skipped_reason: str | None = None
 
     def describe(self) -> str:
+        if self.skipped_reason is not None:
+            return (
+                f"skip {self.file} {self.row} {self.metric}: "
+                f"{self.skipped_reason}"
+            )
         status = "ok  " if self.ok else "FAIL"
         if self.fresh is None:
             return f"{status} {self.file} {self.row} {self.metric}: missing"
@@ -70,6 +83,28 @@ def row_identity(row: dict) -> str:
     """Stable identity string for matching rows across files."""
     parts = [f"{k}={row[k]}" for k in IDENTITY_KEYS if k in row]
     return "[" + ", ".join(parts) + "]" if parts else "[row]"
+
+
+def cpu_downgrade(baseline_row: dict, fresh_row: dict | None) -> str | None:
+    """Why this row's ratios are incomparable on the fresh machine.
+
+    Returns a skip reason when the baseline recorded ``usable_cpus`` and
+    the fresh run has fewer of them (a multi-core anchor cannot gate a
+    smaller machine); None when the rows are comparable. Baselines
+    without the field — and fresh rows missing it — gate normally.
+    """
+    if fresh_row is None:
+        return None
+    base_cpus = baseline_row.get("usable_cpus")
+    fresh_cpus = fresh_row.get("usable_cpus")
+    if not isinstance(base_cpus, (int, float)):
+        return None
+    if not isinstance(fresh_cpus, (int, float)) or fresh_cpus >= base_cpus:
+        return None
+    return (
+        f"fresh run has {int(fresh_cpus)} usable CPU(s), baseline was "
+        f"measured with {int(base_cpus)}"
+    )
 
 
 def tracked_metrics(row: dict) -> dict[str, float]:
@@ -108,10 +143,24 @@ def compare_file(
     findings: list[Finding] = []
     for identity, row in baseline_rows.items():
         fresh_row = fresh_rows.get(identity)
+        skip = cpu_downgrade(row, fresh_row)
         for metric, value in tracked_metrics(row).items():
             fresh_value = fresh_row.get(metric) if fresh_row else None
             if not isinstance(fresh_value, (int, float)):
                 findings.append(Finding(name, identity, metric, value, None, ok=False))
+                continue
+            if skip is not None:
+                findings.append(
+                    Finding(
+                        name,
+                        identity,
+                        metric,
+                        value,
+                        float(fresh_value),
+                        ok=True,
+                        skipped_reason=skip,
+                    )
+                )
                 continue
             ok = float(fresh_value) >= value * (1.0 - threshold)
             findings.append(
@@ -167,7 +216,10 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
-    print(f"regression gate: all {len(findings)} tracked metrics within bounds")
+    skips = sum(1 for f in findings if f.skipped_reason is not None)
+    gated = len(findings) - skips
+    suffix = f" ({skips} skipped: fewer CPUs than baseline)" if skips else ""
+    print(f"regression gate: all {gated} tracked metrics within bounds{suffix}")
     return 0
 
 

@@ -79,6 +79,13 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="pool width for the thread/process shard executors",
         )
+        p.add_argument(
+            "--shard-query-block",
+            type=_positive_int,
+            default=None,
+            help="query rows fanned out per shard-executor round "
+            "(bounds per-task pickle size and merge memory)",
+        )
 
     p = sub.add_parser("quality", help="Table 3/5: ARI & AMI of all methods")
     common(p, multi_dataset=True)
@@ -212,12 +219,18 @@ def main(argv: list[str] | None = None) -> int:
     if args.shards is not None:
         # Engine-level sharding: every clusterer that routes
         # neighborhoods through NeighborhoodCache fans its range queries
-        # across row shards for the duration of the command.
-        with sharded_queries(
+        # across row shards for the duration of the command. Each live
+        # shard's inner index is built exactly once per fit
+        # (shard-before-build + shard→worker affinity); the per-fit
+        # build counters ride along in the JSON rows' stats.
+        sharding_kwargs = dict(
             n_shards=args.shards,
             executor=args.shard_executor,
             n_workers=args.shard_workers,
-        ):
+        )
+        if args.shard_query_block is not None:
+            sharding_kwargs["query_block"] = args.shard_query_block
+        with sharded_queries(**sharding_kwargs):
             rows = _COMMANDS[args.command](args)
     else:
         rows = _COMMANDS[args.command](args)

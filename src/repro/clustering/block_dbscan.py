@@ -28,7 +28,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.clustering.base import NOISE, Clusterer, ClusteringResult, canonicalize_labels
+from repro.clustering.base import (
+    NOISE,
+    Clusterer,
+    ClusteringResult,
+    canonicalize_labels,
+)
 from repro.clustering.union_find import UnionFind
 from repro.distances import (
     check_unit_norm,
@@ -85,12 +90,17 @@ class BlockDBSCAN(Clusterer):
     def fit(self, X: np.ndarray) -> ClusteringResult:
         X = check_unit_norm(X)
         n = X.shape[0]
-        tree = CoverTree(base=self.base).build(X)
         engine: NeighborhoodCache | None = None
         if self.batch_queries:
-            engine = NeighborhoodCache(tree, X, self.eps, evict_on_fetch=True)
+            # Unbuilt tree handed to the engine: built exactly once,
+            # shard-first when sharding is active (no discarded
+            # whole-dataset build).
+            engine = NeighborhoodCache(
+                CoverTree(base=self.base), X, self.eps, evict_on_fetch=True
+            )
             fetch = engine.fetch
         else:
+            tree = CoverTree(base=self.base).build(X)
             fetch = lambda p: tree.range_query(X[p], self.eps)  # noqa: E731
         # Cosine threshold whose Euclidean equivalent is half the radius.
         half_eps_cos = self.eps / 4.0
@@ -102,41 +112,48 @@ class BlockDBSCAN(Clusterer):
         blocks: list[np.ndarray] = []
         n_range_queries = 0
 
-        for p in range(n):
-            if visited[p]:
-                continue
-            visited[p] = True
-            # One full-radius query per seed; the half-radius ball is the
-            # distance-filtered subset (same information as the original
-            # half-then-full query pair, at half the tree traversals).
-            neighbors = fetch(p)
-            n_range_queries += 1
-            ball = neighbors[
-                1.0 - X[neighbors] @ X[p] < half_eps_cos
-            ]
-            if ball.size >= self.tau:
-                # Inner core block: pairwise Euclidean < r_e, all core.
-                fresh = ball[~core_mask[ball]]
-                core_mask[ball] = True
-                visited[ball] = True
-                unit_id = len(blocks)
-                blocks.append(ball)
-                unit_of_point[fresh] = unit_id
-            elif neighbors.size >= self.tau:
-                # Sparse region: p alone is core (no block around it).
-                core_mask[p] = True
-                unit_id = len(blocks)
-                blocks.append(np.array([p], dtype=np.int64))
-                unit_of_point[p] = unit_id
+        try:
+            for p in range(n):
+                if visited[p]:
+                    continue
+                visited[p] = True
+                # One full-radius query per seed; the half-radius ball is
+                # the distance-filtered subset (same information as the
+                # original half-then-full query pair, at half the tree
+                # traversals).
+                neighbors = fetch(p)
+                n_range_queries += 1
+                ball = neighbors[1.0 - X[neighbors] @ X[p] < half_eps_cos]
+                if ball.size >= self.tau:
+                    # Inner core block: pairwise Euclidean < r_e, all core.
+                    fresh = ball[~core_mask[ball]]
+                    core_mask[ball] = True
+                    visited[ball] = True
+                    unit_id = len(blocks)
+                    blocks.append(ball)
+                    unit_of_point[fresh] = unit_id
+                elif neighbors.size >= self.tau:
+                    # Sparse region: p alone is core (no block around it).
+                    core_mask[p] = True
+                    unit_id = len(blocks)
+                    blocks.append(np.array([p], dtype=np.int64))
+                    unit_of_point[p] = unit_id
+
+            stats: dict[str, int | float] = {
+                "range_queries": n_range_queries,
+                "n_core": int(core_mask.sum()),
+                "n_blocks": len(blocks),
+            }
+            if engine is not None:
+                stats.update(engine.stats())
+        finally:
+            # Deterministic release even when a query raises mid-fit
+            # (an exception traceback would pin the engine, leaking a
+            # process executor's shared-memory segment until gc).
+            if engine is not None:
+                engine.close()
 
         labels = self._merge_and_assign(X, core_mask, unit_of_point, blocks, r_e)
-        stats: dict[str, int | float] = {
-            "range_queries": n_range_queries,
-            "n_core": int(core_mask.sum()),
-            "n_blocks": len(blocks),
-        }
-        if engine is not None:
-            stats.update(engine.stats())
         return ClusteringResult(
             labels=canonicalize_labels(labels),
             core_mask=core_mask,

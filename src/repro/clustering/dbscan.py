@@ -12,11 +12,16 @@ from collections.abc import Callable
 
 import numpy as np
 
-from repro.clustering.base import NOISE, Clusterer, ClusteringResult, canonicalize_labels
+from repro.clustering.base import (
+    NOISE,
+    Clusterer,
+    ClusteringResult,
+    canonicalize_labels,
+)
 from repro.distances.metric import COSINE, Metric
 from repro.index.base import NeighborIndex
 from repro.index.brute_force import BruteForceIndex
-from repro.index.engine import NeighborhoodCache
+from repro.index.engine import NeighborhoodCache, fresh_engine_index
 
 __all__ = ["DBSCAN"]
 
@@ -68,15 +73,18 @@ class DBSCAN(Clusterer):
         self.index_factory = index_factory
         self.batch_queries = bool(batch_queries)
 
-    def _build_index(self, X: np.ndarray) -> NeighborIndex:
+    def _make_index(self) -> NeighborIndex:
+        """The configured range-query backend, unbuilt."""
         if self.index_factory is None:
-            return BruteForceIndex(metric=self.metric).build(X)
-        return self.index_factory().build(X)
+            return BruteForceIndex(metric=self.metric)
+        return self.index_factory()
+
+    def _build_index(self, X: np.ndarray) -> NeighborIndex:
+        return self._make_index().build(X)
 
     def fit(self, X: np.ndarray) -> ClusteringResult:
         X = self.metric.validate(X)
         n = X.shape[0]
-        index = self._build_index(X)
         engine: NeighborhoodCache | None = None
         if self.batch_queries:
             # Every point's range query executes exactly once (in the
@@ -84,10 +92,20 @@ class DBSCAN(Clusterer):
             # safe prefetch plan: nothing speculative is ever computed.
             # Each point is fetched exactly once, so serve-and-release
             # keeps resident memory to the prefetched-but-unserved tail.
-            engine = NeighborhoodCache(index, X, self.eps, evict_on_fetch=True)
+            # The index is handed over *unbuilt* (fresh_engine_index):
+            # the engine builds it exactly once — shard-first when
+            # sharding is active, so no whole-dataset index is
+            # constructed just to be discarded.
+            engine = NeighborhoodCache(
+                fresh_engine_index(self._make_index(), X),
+                X,
+                self.eps,
+                evict_on_fetch=True,
+            )
             engine.plan(np.arange(n))
             fetch = engine.fetch
         else:
+            index = self._build_index(X)
             fetch = lambda p: index.range_query(X[p], self.eps)  # noqa: E731
         labels = np.full(n, UNDEFINED, dtype=np.int64)
         core_mask = np.zeros(n, dtype=bool)
@@ -97,40 +115,48 @@ class DBSCAN(Clusterer):
         n_range_queries = 0
         cluster_id = -1
 
-        for p in range(n):
-            if labels[p] != UNDEFINED:
-                continue
-            neighbors = fetch(p)
-            n_range_queries += 1
-            if neighbors.size < self.tau:
-                labels[p] = NOISE
-                continue
-            cluster_id += 1
-            labels[p] = cluster_id
-            core_mask[p] = True
-            # Expansion queue: the paper's growing seed set S = N - {P}.
-            queue = neighbors[neighbors != p].tolist()
-            enqueued[neighbors] = True
-            head = 0
-            while head < len(queue):
-                q = queue[head]
-                head += 1
-                if labels[q] == NOISE:
-                    labels[q] = cluster_id  # noise reclaimed as border
-                if labels[q] != UNDEFINED:
+        try:
+            for p in range(n):
+                if labels[p] != UNDEFINED:
                     continue
-                labels[q] = cluster_id
-                q_neighbors = fetch(q)
+                neighbors = fetch(p)
                 n_range_queries += 1
-                if q_neighbors.size >= self.tau:
-                    core_mask[q] = True
-                    fresh = q_neighbors[~enqueued[q_neighbors]]
-                    enqueued[fresh] = True
-                    queue.extend(fresh.tolist())
+                if neighbors.size < self.tau:
+                    labels[p] = NOISE
+                    continue
+                cluster_id += 1
+                labels[p] = cluster_id
+                core_mask[p] = True
+                # Expansion queue: the paper's growing seed set S = N - {P}.
+                queue = neighbors[neighbors != p].tolist()
+                enqueued[neighbors] = True
+                head = 0
+                while head < len(queue):
+                    q = queue[head]
+                    head += 1
+                    if labels[q] == NOISE:
+                        labels[q] = cluster_id  # noise reclaimed as border
+                    if labels[q] != UNDEFINED:
+                        continue
+                    labels[q] = cluster_id
+                    q_neighbors = fetch(q)
+                    n_range_queries += 1
+                    if q_neighbors.size >= self.tau:
+                        core_mask[q] = True
+                        fresh = q_neighbors[~enqueued[q_neighbors]]
+                        enqueued[fresh] = True
+                        queue.extend(fresh.tolist())
 
-        stats: dict[str, int | float] = {"range_queries": n_range_queries}
-        if engine is not None:
-            stats.update(engine.stats())
+            stats: dict[str, int | float] = {"range_queries": n_range_queries}
+            if engine is not None:
+                stats.update(engine.stats())
+        finally:
+            # Deterministic release even when a query raises mid-fit: an
+            # exception traceback pins this frame (and with it the
+            # engine), so waiting for refcount collection would leak a
+            # process executor's shared-memory segment until gc.
+            if engine is not None:
+                engine.close()
         return ClusteringResult(
             labels=canonicalize_labels(labels),
             core_mask=core_mask,

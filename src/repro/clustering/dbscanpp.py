@@ -15,7 +15,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.clustering.base import NOISE, Clusterer, ClusteringResult, canonicalize_labels
+from repro.clustering.base import (
+    NOISE,
+    Clusterer,
+    ClusteringResult,
+    canonicalize_labels,
+)
 from repro.clustering.components import connected_components_within
 from repro.distances import check_unit_norm, iter_distance_blocks
 from repro.exceptions import InvalidParameterError
@@ -64,7 +69,9 @@ class DBSCANPlusPlus(Clusterer):
     ) -> None:
         super().__init__(eps, tau)
         if not 0.0 < p <= 1.0:
-            raise InvalidParameterError(f"sample fraction p must lie in (0, 1]; got {p}")
+            raise InvalidParameterError(
+                f"sample fraction p must lie in (0, 1]; got {p}"
+            )
         if init not in _INIT_METHODS:
             raise InvalidParameterError(
                 f"init must be one of {_INIT_METHODS}; got {init!r}"

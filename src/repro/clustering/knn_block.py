@@ -26,7 +26,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.clustering.base import NOISE, Clusterer, ClusteringResult, canonicalize_labels
+from repro.clustering.base import (
+    NOISE,
+    Clusterer,
+    ClusteringResult,
+    canonicalize_labels,
+)
 from repro.clustering.union_find import UnionFind
 from repro.distances import (
     check_unit_norm,

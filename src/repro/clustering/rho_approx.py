@@ -25,7 +25,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.clustering.base import NOISE, Clusterer, ClusteringResult, canonicalize_labels
+from repro.clustering.base import (
+    NOISE,
+    Clusterer,
+    ClusteringResult,
+    canonicalize_labels,
+)
 from repro.clustering.union_find import UnionFind
 from repro.distances import check_unit_norm, euclidean_from_cosine
 from repro.exceptions import InvalidParameterError
@@ -144,7 +149,9 @@ class RhoApproxDBSCAN(Clusterer):
             if self.batch_queries:
                 neighbor_lists = grid.batch_range_query(X[border_candidates])
             else:
-                neighbor_lists = [grid.exact_range_query(X[p]) for p in border_candidates]
+                neighbor_lists = [
+                    grid.exact_range_query(X[p]) for p in border_candidates
+                ]
             for p, neighbors in zip(border_candidates.tolist(), neighbor_lists):
                 core_neighbors = neighbors[core_mask[neighbors]]
                 if core_neighbors.size:

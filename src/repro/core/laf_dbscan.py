@@ -25,13 +25,18 @@ from collections.abc import Callable
 
 import numpy as np
 
-from repro.clustering.base import NOISE, Clusterer, ClusteringResult, canonicalize_labels
+from repro.clustering.base import (
+    NOISE,
+    Clusterer,
+    ClusteringResult,
+    canonicalize_labels,
+)
 from repro.core.laf import LAF
 from repro.distances.metric import COSINE, Metric
 from repro.estimators.base import CardinalityEstimator
 from repro.index.base import NeighborIndex
 from repro.index.brute_force import BruteForceIndex
-from repro.index.engine import NeighborhoodCache
+from repro.index.engine import NeighborhoodCache, fresh_engine_index
 
 __all__ = ["LAFDBSCAN"]
 
@@ -100,15 +105,18 @@ class LAFDBSCAN(Clusterer):
         self.index_factory = index_factory
         self.batch_queries = bool(batch_queries)
 
-    def _build_index(self, X: np.ndarray) -> NeighborIndex:
+    def _make_index(self) -> NeighborIndex:
+        """The configured range-query backend, unbuilt."""
         if self.index_factory is None:
-            return BruteForceIndex(metric=self.metric).build(X)
-        return self.index_factory().build(X)
+            return BruteForceIndex(metric=self.metric)
+        return self.index_factory()
+
+    def _build_index(self, X: np.ndarray) -> NeighborIndex:
+        return self._make_index().build(X)
 
     def fit(self, X: np.ndarray) -> ClusteringResult:
         X = self.metric.validate(X)
         n = X.shape[0]
-        index = self._build_index(X)
         predicted_core = self.laf.begin_run(X, self.eps, self.tau)  # the CardEst gate
         E = self.laf.partial_neighbors
 
@@ -117,11 +125,19 @@ class LAFDBSCAN(Clusterer):
             # Algorithm 1 executes exactly one range query per
             # predicted-core point, so those are the plan; predicted stop
             # points are never planned and never computed, keeping the
-            # gate's skipped-query savings intact.
-            engine = NeighborhoodCache(index, X, self.eps, evict_on_fetch=True)
+            # gate's skipped-query savings intact. The index is handed
+            # over *unbuilt* (fresh_engine_index): the engine builds it
+            # exactly once, shard-first when sharding is active.
+            engine = NeighborhoodCache(
+                fresh_engine_index(self._make_index(), X),
+                X,
+                self.eps,
+                evict_on_fetch=True,
+            )
             engine.plan(np.flatnonzero(predicted_core))
             fetch = engine.fetch
         else:
+            index = self._build_index(X)
             fetch = lambda p: index.range_query(X[p], self.eps)  # noqa: E731
 
         labels = np.full(n, UNDEFINED, dtype=np.int64)  # line 3
@@ -133,46 +149,55 @@ class LAFDBSCAN(Clusterer):
         n_skipped = 0
         cluster_id = -1
 
-        for p in range(n):  # line 4
-            if labels[p] != UNDEFINED:  # line 5
-                continue
-            if not predicted_core[p]:  # line 6: CardEst(P) < alpha * tau
-                labels[p] = NOISE  # line 7
-                E.register_stop_point(p)  # line 8
-                n_skipped += 1
-                continue  # line 9
-            neighbors = fetch(p)  # line 10
-            n_range_queries += 1
-            E.update(p, neighbors)  # line 11
-            if neighbors.size < self.tau:  # line 12 (false positive)
-                labels[p] = NOISE  # line 13
-                continue  # line 14
-            cluster_id += 1  # line 15
-            labels[p] = cluster_id  # line 16
-            core_mask[p] = True
-            queue = neighbors[neighbors != p].tolist()  # line 17: S := N - {P}
-            enqueued[neighbors] = True
-            head = 0
-            while head < len(queue):  # line 18
-                q = queue[head]
-                head += 1
-                if labels[q] == NOISE:  # line 19: border claims noise
-                    labels[q] = cluster_id
-                if labels[q] != UNDEFINED:  # line 20
+        try:
+            for p in range(n):  # line 4
+                if labels[p] != UNDEFINED:  # line 5
                     continue
-                labels[q] = cluster_id  # line 21
-                if predicted_core[q]:  # line 22: CardEst(Q) >= alpha * tau
-                    q_neighbors = fetch(q)  # line 23
-                    n_range_queries += 1
-                    E.update(q, q_neighbors)  # line 24
-                    if q_neighbors.size >= self.tau:  # line 25
-                        core_mask[q] = True
-                        fresh = q_neighbors[~enqueued[q_neighbors]]  # S := S u N
-                        enqueued[fresh] = True
-                        queue.extend(fresh.tolist())
-                else:
-                    E.register_stop_point(q)  # lines 26-27
+                if not predicted_core[p]:  # line 6: CardEst(P) < alpha * tau
+                    labels[p] = NOISE  # line 7
+                    E.register_stop_point(p)  # line 8
                     n_skipped += 1
+                    continue  # line 9
+                neighbors = fetch(p)  # line 10
+                n_range_queries += 1
+                E.update(p, neighbors)  # line 11
+                if neighbors.size < self.tau:  # line 12 (false positive)
+                    labels[p] = NOISE  # line 13
+                    continue  # line 14
+                cluster_id += 1  # line 15
+                labels[p] = cluster_id  # line 16
+                core_mask[p] = True
+                queue = neighbors[neighbors != p].tolist()  # line 17: S := N - {P}
+                enqueued[neighbors] = True
+                head = 0
+                while head < len(queue):  # line 18
+                    q = queue[head]
+                    head += 1
+                    if labels[q] == NOISE:  # line 19: border claims noise
+                        labels[q] = cluster_id
+                    if labels[q] != UNDEFINED:  # line 20
+                        continue
+                    labels[q] = cluster_id  # line 21
+                    if predicted_core[q]:  # line 22: CardEst(Q) >= alpha * tau
+                        q_neighbors = fetch(q)  # line 23
+                        n_range_queries += 1
+                        E.update(q, q_neighbors)  # line 24
+                        if q_neighbors.size >= self.tau:  # line 25
+                            core_mask[q] = True
+                            fresh = q_neighbors[~enqueued[q_neighbors]]  # S := S u N
+                            enqueued[fresh] = True
+                            queue.extend(fresh.tolist())
+                    else:
+                        E.register_stop_point(q)  # lines 26-27
+                        n_skipped += 1
+
+            engine_stats = engine.stats() if engine is not None else {}
+        finally:
+            # Deterministic release even when a query raises mid-fit
+            # (an exception traceback would pin the engine, leaking a
+            # process executor's shared-memory segment until gc).
+            if engine is not None:
+                engine.close()
 
         outcome = self.laf.finalize(labels, self.tau)  # line 28
         stats: dict[str, int | float] = {
@@ -182,8 +207,7 @@ class LAFDBSCAN(Clusterer):
             "merges": outcome.n_merges,
         }
         stats.update(self.laf.stats())
-        if engine is not None:
-            stats.update(engine.stats())
+        stats.update(engine_stats)
         return ClusteringResult(
             labels=canonicalize_labels(outcome.labels),
             core_mask=core_mask,

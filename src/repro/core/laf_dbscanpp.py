@@ -20,7 +20,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.clustering.base import NOISE, Clusterer, ClusteringResult, canonicalize_labels
+from repro.clustering.base import (
+    NOISE,
+    Clusterer,
+    ClusteringResult,
+    canonicalize_labels,
+)
 from repro.clustering.components import connected_components_within
 from repro.distances import check_unit_norm, iter_distance_blocks
 from repro.core.laf import LAF
@@ -76,7 +81,9 @@ class LAFDBSCANPlusPlus(Clusterer):
     ) -> None:
         super().__init__(eps, tau)
         if not 0.0 < p <= 1.0:
-            raise InvalidParameterError(f"sample fraction p must lie in (0, 1]; got {p}")
+            raise InvalidParameterError(
+                f"sample fraction p must lie in (0, 1]; got {p}"
+            )
         self.p = float(p)
         self.assign_within_eps = bool(assign_within_eps)
         self.batch_queries = bool(batch_queries)
@@ -91,7 +98,6 @@ class LAFDBSCANPlusPlus(Clusterer):
     def fit(self, X: np.ndarray) -> ClusteringResult:
         X = check_unit_norm(X)
         n = X.shape[0]
-        index = BruteForceIndex().build(X)
         predicted_core = self.laf.begin_run(X, self.eps, self.tau)
         E = self.laf.partial_neighbors
 
@@ -109,20 +115,32 @@ class LAFDBSCANPlusPlus(Clusterer):
             # so the gated set is the plan; serve-and-release keeps only
             # the prefetched tail of each block resident. The E.update
             # feed below still runs per result in sample order, exactly
-            # as the per-point loop would.
-            engine = NeighborhoodCache(index, X, self.eps, evict_on_fetch=True)
+            # as the per-point loop would. The index is handed over
+            # unbuilt: built once, shard-first when sharding is active.
+            engine = NeighborhoodCache(
+                BruteForceIndex(), X, self.eps, evict_on_fetch=True
+            )
             engine.plan(gated)
             fetch = engine.fetch
         else:
+            index = BruteForceIndex().build(X)
             fetch = lambda s: index.range_query(X[s], self.eps)  # noqa: E731
         core_list: list[int] = []
         n_range_queries = 0
-        for s in gated.tolist():
-            neighbors = fetch(s)
-            n_range_queries += 1
-            E.update(s, neighbors)
-            if neighbors.size >= self.tau:
-                core_list.append(s)
+        try:
+            for s in gated.tolist():
+                neighbors = fetch(s)
+                n_range_queries += 1
+                E.update(s, neighbors)
+                if neighbors.size >= self.tau:
+                    core_list.append(s)
+            engine_stats = engine.stats() if engine is not None else {}
+        finally:
+            # Deterministic release even when a query raises mid-fit
+            # (an exception traceback would pin the engine, leaking a
+            # process executor's shared-memory segment until gc).
+            if engine is not None:
+                engine.close()
         core_sample = np.array(core_list, dtype=np.int64)
 
         stats: dict[str, int | float] = {
@@ -131,13 +149,14 @@ class LAFDBSCANPlusPlus(Clusterer):
             "sample_size": int(sample.size),
             "n_core": int(core_sample.size),
         }
-        if engine is not None:
-            stats.update(engine.stats())
+        stats.update(engine_stats)
         core_mask = np.zeros(n, dtype=bool)
         if core_sample.size == 0:
             outcome = self.laf.finalize(np.full(n, NOISE, dtype=np.int64), self.tau)
             stats.update(self.laf.stats())
-            stats.update({"fn_detected": outcome.n_false_negatives, "merges": outcome.n_merges})
+            stats.update(
+                {"fn_detected": outcome.n_false_negatives, "merges": outcome.n_merges}
+            )
             return ClusteringResult(
                 labels=canonicalize_labels(outcome.labels),
                 core_mask=core_mask,
@@ -161,7 +180,9 @@ class LAFDBSCANPlusPlus(Clusterer):
 
         outcome = self.laf.finalize(labels, self.tau)
         stats.update(self.laf.stats())
-        stats.update({"fn_detected": outcome.n_false_negatives, "merges": outcome.n_merges})
+        stats.update(
+            {"fn_detected": outcome.n_false_negatives, "merges": outcome.n_merges}
+        )
         return ClusteringResult(
             labels=canonicalize_labels(outcome.labels),
             core_mask=core_mask,

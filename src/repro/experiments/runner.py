@@ -41,8 +41,14 @@ class RunRecord:
     stats: dict[str, int | float]
 
     def as_row(self) -> dict[str, object]:
-        """Flat representation for reporting tables."""
-        return {
+        """Flat representation for reporting tables.
+
+        When the run executed under engine sharding, the build
+        accounting (``shard_inner_builds`` — exactly one inner build per
+        live shard per fit — and ``shard_rebalances``) rides along so
+        JSON consumers can audit the build-once contract per record.
+        """
+        row = {
             "method": self.method,
             "dataset": self.dataset,
             "eps": self.eps,
@@ -53,6 +59,10 @@ class RunRecord:
             "clusters": self.n_clusters,
             "noise": round(self.noise_ratio, 4),
         }
+        for key in ("shard_live_shards", "shard_inner_builds", "shard_rebalances"):
+            if key in self.stats:
+                row[key] = self.stats[key]
+        return row
 
 
 def ground_truth(X: np.ndarray, eps: float, tau: int) -> ClusteringResult:

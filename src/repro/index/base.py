@@ -167,8 +167,24 @@ class NeighborIndex(abc.ABC):
         return 0 if self._points is None else int(self._points.shape[0])
 
     @property
+    def is_built(self) -> bool:
+        """Whether :meth:`build` has run (so queries and ``points`` work).
+
+        Hosts use this to tell an index they must still build from one
+        they can query — the batched engine's shard-before-build seam
+        (:func:`~repro.index.sharded.resolve_engine_index`) keys on it.
+        """
+        return self._points is not None
+
+    @property
     def points(self) -> np.ndarray:
-        """The indexed point matrix, shape ``(n_points, dim)``."""
+        """The indexed point matrix, shape ``(n_points, dim)``.
+
+        The public accessor sharding relies on: wrapping a fitted index
+        into a :class:`~repro.index.sharded.ShardedIndex` re-fits shard
+        copies over exactly these rows. Raises :class:`NotFittedError`
+        before :meth:`build`.
+        """
         if self._points is None:
             raise NotFittedError(f"{type(self).__name__} has not been built yet")
         return self._points

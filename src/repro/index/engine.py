@@ -39,7 +39,22 @@ import numpy as np
 
 from repro.exceptions import InvalidParameterError
 
-__all__ = ["NeighborhoodCache"]
+__all__ = ["NeighborhoodCache", "fresh_engine_index"]
+
+
+def fresh_engine_index(index, X: np.ndarray):
+    """Prepare a freshly constructed backend for :class:`NeighborhoodCache`.
+
+    Backends exposing the ``is_built`` seam are returned *unbuilt* — the
+    cache builds them exactly once, shard-first when sharding is active.
+    A duck-typed index without the seam keeps its legacy contract and is
+    built here over ``X`` (the cache then only queries it). This is the
+    one place the hand-over policy lives; every clusterer with an
+    ``index_factory`` routes through it.
+    """
+    if getattr(index, "is_built", None) is None:
+        return index.build(X)
+    return index
 
 #: Default number of queries computed per batched index call.
 DEFAULT_QUERY_BLOCK = 1024
@@ -54,7 +69,12 @@ class NeighborhoodCache:
         Any object exposing ``batch_range_query(Q, eps) -> list[np.ndarray]``
         over the dataset ``X`` (every :class:`~repro.index.base.NeighborIndex`
         qualifies; :class:`~repro.index.brute_force.BruteForceIndex` makes
-        the batch a true blocked matrix product).
+        the batch a true blocked matrix product). An *unbuilt* index
+        (``is_built`` False) may be handed over instead: the cache builds
+        it over ``X`` exactly once — and when sharding is active and the
+        index has a registered rebuild spec, it builds the per-shard
+        indexes *directly* (the shard-before-build path), so no
+        whole-dataset index is ever constructed just to be discarded.
     X:
         The indexed point matrix; ``fetch`` takes row indices into it.
     eps:
@@ -67,9 +87,11 @@ class NeighborhoodCache:
         cache. When omitted, the process-wide configuration installed by
         :func:`~repro.index.sharded.set_sharding` /
         :func:`~repro.index.sharded.sharded_queries` applies. When a
-        configuration is active and ``index`` is a recognised single
-        backend, the cache transparently rebuilds it as a
-        :class:`~repro.index.sharded.ShardedIndex` over the same points —
+        configuration is active and ``index`` is a recognised backend,
+        the cache routes through a
+        :class:`~repro.index.sharded.ShardedIndex` — built directly from
+        an unbuilt index (shard-before-build, no discarded whole-dataset
+        build) or rebuilt over a fitted index's points (fallback) — and
         this is how every clusterer that routes neighborhoods through the
         engine gains sharded execution without code changes. Results are
         bit-identical for exact backends (a neighborhood is the disjoint
@@ -98,17 +120,19 @@ class NeighborhoodCache:
             )
         # Imported here so the engine stays importable without pulling the
         # whole backend registry in at module-import time.
-        from repro.index.sharded import maybe_shard
+        from repro.index.sharded import resolve_engine_index
 
-        self._index = maybe_shard(index, sharding)
-        # When sharding wrapped the caller's index, the wrapper (and its
-        # worker pool / shared memory, for the process executor) belongs
-        # to this cache: close() releases it deterministically. Hosts
-        # that never call close still get prompt release when the cache
-        # goes out of scope at the end of a fit (the executor's
-        # weakref.finalize fires on refcount collection).
-        self._owns_index = self._index is not index
         self._X = np.asarray(X, dtype=np.float64)
+        # When the cache built (or shard-wrapped) the index itself, the
+        # result — and its worker pool / shared memory, for the process
+        # executor — belongs to this cache: close() releases it
+        # deterministically. Hosts that never call close still get
+        # prompt release when the cache goes out of scope at the end of
+        # a fit (the executor's weakref.finalize fires on refcount
+        # collection).
+        self._index, self._owns_index = resolve_engine_index(
+            index, self._X, sharding
+        )
         self.eps = float(eps)
         self.block_size = int(block_size)
         self.evict_on_fetch = bool(evict_on_fetch)
@@ -189,10 +213,14 @@ class NeighborhoodCache:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Release a sharded index this cache created. Idempotent.
+        """Release an index this cache built or shard-wrapped. Idempotent.
 
-        A no-op when the cache uses the caller's index directly — the
-        caller owns that one.
+        Ownership follows the build: a *fitted* index the caller handed
+        in stays the caller's (closing the cache is then a no-op), but
+        an index the cache built — including an unbuilt object the
+        caller passed, which the cache built in place — belongs to the
+        cache and is released here. Don't hand the engine an unbuilt
+        index you intend to keep querying after the cache closes.
         """
         if self._owns_index:
             closer = getattr(self._index, "close", None)
@@ -210,9 +238,19 @@ class NeighborhoodCache:
     # ------------------------------------------------------------------
 
     def stats(self) -> dict[str, int]:
-        """Engine counters, merged into the host's ClusteringResult."""
-        return {
+        """Engine counters, merged into the host's ClusteringResult.
+
+        When the cache routes through a :class:`ShardedIndex`, its build
+        accounting (``shard_inner_builds`` / ``shard_live_shards`` /
+        ``shard_rebalances``) is merged in, so every cache-routed
+        clusterer surfaces the build-once evidence for free.
+        """
+        stats = {
             "engine_batches": self.n_blocks,
             "engine_computed": self.n_computed,
             "engine_cache_hits": self.n_cache_hits,
         }
+        index_stats = getattr(self._index, "stats", None)
+        if callable(index_stats):
+            stats.update(index_stats())
+        return stats

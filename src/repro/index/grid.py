@@ -111,6 +111,30 @@ class GridIndex:
     # ------------------------------------------------------------------
 
     @property
+    def n_points(self) -> int:
+        """Number of indexed points."""
+        return 0 if self._points is None else int(self._points.shape[0])
+
+    @property
+    def is_built(self) -> bool:
+        """Whether :meth:`build` has run (so queries and ``points`` work)."""
+        return self._points is not None
+
+    @property
+    def points(self) -> np.ndarray:
+        """The indexed point matrix, shape ``(n_points, dim)``.
+
+        Same public accessor contract as
+        :class:`~repro.index.base.NeighborIndex.points` (the grid is not
+        a :class:`NeighborIndex` subclass, but sharding treats it as a
+        registered backend and needs the same seam). Raises
+        :class:`NotFittedError` before :meth:`build`.
+        """
+        if self._points is None:
+            raise NotFittedError("GridIndex has not been built yet")
+        return self._points
+
+    @property
     def n_cells(self) -> int:
         """Number of non-empty cells."""
         self._require_built()

@@ -9,11 +9,26 @@ fanning query blocks across the shards through a pluggable executor:
   reference executor every other one is differentially tested against);
 * ``"thread"``  — a thread pool; NumPy releases the GIL inside BLAS, so
   shard GEMMs genuinely overlap on multi-core machines;
-* ``"process"`` — a ``multiprocessing`` pool whose workers attach the
+* ``"process"`` — a pool of single-process workers that attach the
   dataset through :mod:`multiprocessing.shared_memory` (one row-major
   float64 segment written at build time), so the data matrix is never
-  pickled; each worker rebuilds its shard's inner index lazily from the
-  shared segment and returns compact CSR hit arrays.
+  pickled; each live shard is pinned to exactly one worker (stable
+  shard→worker affinity), which builds that shard's inner index lazily
+  from the shared segment on first use and reuses it for every later
+  query block. A fit therefore pays exactly ``n_live_shards`` inner
+  builds — never ``n_workers × n_shards`` — and when a worker dies its
+  shards are rebalanced across the survivors (who rebuild just those
+  shards) with the failed calls retried.
+
+Build lifecycle: an inner index is a build-once, query-many artifact.
+The serial/thread executors build all live shards eagerly in
+:meth:`ShardedIndex.build`; the process executor builds them lazily in
+the owning worker. Either way :meth:`ShardedIndex.stats` reports the
+instrumented ``shard_inner_builds`` counter so hosts can prove the
+build-once property per fit. :func:`resolve_engine_index` is the
+shard-before-build seam: handed an *unbuilt* backend it constructs the
+per-shard indexes directly, so no whole-dataset index is ever built just
+to be thrown away.
 
 Per-shard results arrive as CSR triples in *shard-local* row numbering;
 the merge kernels below (:func:`merge_shard_rows`, :func:`merge_knn_rows`)
@@ -49,9 +64,12 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import warnings
 import weakref
 from collections.abc import Sequence
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass
 from multiprocessing import shared_memory
@@ -77,6 +95,7 @@ __all__ = [
     "maybe_shard",
     "merge_knn_rows",
     "merge_shard_rows",
+    "resolve_engine_index",
     "rows_to_csr",
     "set_sharding",
     "shard_offsets",
@@ -86,6 +105,10 @@ __all__ = [
 
 #: Default number of query rows fanned out per executor round.
 DEFAULT_QUERY_BLOCK = 2048
+
+#: Upper bound on one worker's stats round-trip (a wedged worker must
+#: not hang close(), which snapshots build counters before teardown).
+_STATS_TIMEOUT_S = 10.0
 
 EXECUTOR_NAMES = ("serial", "thread", "process")
 
@@ -400,6 +423,7 @@ def _worker_init(
         inner=(inner_name, dict(inner_kwargs)),
         indexes={},
         limiter=limiter,
+        n_builds=0,
     )
 
 
@@ -411,6 +435,7 @@ def _worker_shard_index(shard_id: int):
         name, kwargs = _WORKER_STATE["inner"]
         index = make_inner_backend(name, kwargs).build(_WORKER_STATE["X"][lo:hi])
         _WORKER_STATE["indexes"][shard_id] = index
+        _WORKER_STATE["n_builds"] += 1
     return index
 
 
@@ -419,9 +444,35 @@ def _worker_call(task: tuple[str, int, tuple]):
     return _SHARD_OPS[op](_worker_shard_index(shard_id), *args)
 
 
-def _release_process_resources(pool, shm) -> None:
-    pool.terminate()
-    pool.join()
+def _worker_stats() -> int:
+    """This worker's inner-build count (queried by ``stats()``)."""
+    return int(_WORKER_STATE.get("n_builds", 0))
+
+
+def _release_process_resources(slots, shm) -> None:
+    """Teardown without waiting on in-flight shard calls.
+
+    ``shutdown(wait=False)`` signals each single-worker pool and cancels
+    *queued* work, but a call already running would keep its worker
+    alive — and a wedged worker (the classic BLAS-after-fork deadlock)
+    would keep it alive forever — so any still-running worker is then
+    terminated outright, matching the prompt-release semantics the
+    pre-affinity ``pool.terminate()`` had. The segment is unlinked last:
+    existing attachments in a straggler keep working (POSIX unlink only
+    removes the name), and the memory is freed once every process lets
+    go. ``slots`` is the executor's live slot list — mutated in place by
+    rebalancing, so this sees whatever slots exist at release time.
+    """
+    workers = []
+    for slot in slots:
+        if slot is not None:
+            workers.extend((getattr(slot, "_processes", None) or {}).values())
+            slot.shutdown(wait=False, cancel_futures=True)
+    for proc in workers:
+        if proc.is_alive():
+            proc.terminate()
+    for proc in workers:
+        proc.join(timeout=5.0)
     shm.close()
     try:
         shm.unlink()
@@ -436,13 +487,21 @@ def _start_method() -> str:
 
 
 class _ProcessExecutor:
-    """Runs shard calls on a multiprocessing pool over shared memory.
+    """Affinity-routed shard execution over shared memory.
 
-    The dataset is written once into a ``SharedMemory`` segment; workers
-    attach it in their initializer and build their shard's inner index
-    lazily on first use. Only query blocks travel to the workers and only
-    compact CSR result arrays travel back — the data matrix itself is
-    never pickled.
+    The dataset is written once into a ``SharedMemory`` segment. Each
+    worker slot is a single-process pool; every live shard is pinned to
+    one slot by a stable assignment (``shard_id % n_slots``), so the
+    worker that owns a shard builds its inner index exactly once (lazily,
+    from the shared segment) and reuses it for every later query block.
+    Only query blocks travel to the workers and only compact CSR result
+    arrays travel back — the data matrix itself is never pickled.
+
+    Fault tolerance: a dead worker surfaces as ``BrokenProcessPool`` on
+    its futures. Its shards are rebalanced round-robin across the
+    surviving slots (which lazily rebuild just those shards) and the
+    failed calls are retried; if every slot is gone a fresh one is
+    spawned. ``n_rebalances`` counts these events for ``stats()``.
     """
 
     def __init__(
@@ -454,29 +513,135 @@ class _ProcessExecutor:
         n_workers: int,
     ) -> None:
         self._shm = shared_memory.SharedMemory(create=True, size=X.nbytes)
-        np.ndarray(X.shape, dtype=X.dtype, buffer=self._shm.buf)[:] = X
-        ctx = multiprocessing.get_context(_start_method())
-        self._pool = ctx.Pool(
-            processes=n_workers,
-            initializer=_worker_init,
-            initargs=(
+        try:
+            np.ndarray(X.shape, dtype=X.dtype, buffer=self._shm.buf)[:] = X
+            self._ctx = multiprocessing.get_context(_start_method())
+            self._initargs = (
                 self._shm.name,
                 X.shape,
                 X.dtype.str,
                 bounds,
                 inner_name,
                 inner_kwargs,
-            ),
-        )
+            )
+            n_slots = max(1, min(n_workers, len(bounds)))
+            self._slots: list = [self._new_slot() for _ in range(n_slots)]
+            # Stable shard→slot affinity: contiguous shards are balanced
+            # within one row, so modulo routing is an even split.
+            self._assignment = {s: s % n_slots for s in range(len(bounds))}
+            # Slots that have accepted at least one task: stats can skip
+            # the rest (their pools spawn workers lazily, and a worker
+            # that never started has trivially built nothing).
+            self._used_slots: set[int] = set()
+            self.n_rebalances = 0
+        except BaseException:
+            # Construction failed after the segment was created: release
+            # it here, nobody else holds a handle yet.
+            self._shm.close()
+            self._shm.unlink()
+            raise
         # Guaranteed teardown even when close() is never called: finalize
         # must not reference self, or it would keep the executor alive.
         self._finalizer = weakref.finalize(
-            self, _release_process_resources, self._pool, self._shm
+            self, _release_process_resources, self._slots, self._shm
         )
 
+    def _new_slot(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=self._ctx,
+            initializer=_worker_init,
+            initargs=self._initargs,
+        )
+
+    def _live_slot_ids(self) -> list[int]:
+        return [i for i, slot in enumerate(self._slots) if slot is not None]
+
+    def _rebalance(self, dead_slot_ids: set[int]) -> None:
+        """Retire dead slots and move their shards to the survivors."""
+        for slot_id in dead_slot_ids:
+            slot = self._slots[slot_id]
+            if slot is not None:
+                slot.shutdown(wait=False, cancel_futures=True)
+                self._slots[slot_id] = None
+        survivors = self._live_slot_ids()
+        if not survivors:
+            # Every worker died: spawn one fresh slot so the fit can
+            # still finish (its worker rebuilds shards lazily).
+            self._slots.append(self._new_slot())
+            survivors = self._live_slot_ids()
+        orphaned = sorted(
+            shard_id
+            for shard_id, slot_id in self._assignment.items()
+            if slot_id not in survivors
+        )
+        for rank, shard_id in enumerate(orphaned):
+            self._assignment[shard_id] = survivors[rank % len(survivors)]
+        self.n_rebalances += 1
+
     def run(self, op: str, calls: list[tuple[int, tuple]]) -> list:
-        tasks = [(op, shard_id, args) for shard_id, args in calls]
-        return self._pool.map(_worker_call, tasks, chunksize=1)
+        results: list = [None] * len(calls)
+        pending = list(enumerate(calls))
+        # Each retry round retires at least one slot; one extra round
+        # covers the all-slots-dead respawn. Beyond that the machine is
+        # actively killing workers and retrying would loop forever.
+        for _ in range(len(self._slots) + 2):
+            submitted: list[tuple[int, int, object]] = []
+            broken: set[int] = set()
+            failed: list[int] = []
+            for pos, (shard_id, args) in pending:
+                slot_id = self._assignment[shard_id]
+                try:
+                    future = self._slots[slot_id].submit(
+                        _worker_call, (op, shard_id, args)
+                    )
+                except BrokenProcessPool:
+                    broken.add(slot_id)
+                    failed.append(pos)
+                    continue
+                self._used_slots.add(slot_id)
+                submitted.append((pos, slot_id, future))
+            for pos, slot_id, future in submitted:
+                try:
+                    results[pos] = future.result()
+                except BrokenProcessPool:
+                    broken.add(slot_id)
+                    failed.append(pos)
+            if not broken:
+                return results
+            self._rebalance(broken)
+            pending = [(pos, calls[pos]) for pos in sorted(failed)]
+        raise BrokenProcessPool(
+            f"shard workers keep dying; gave up after {self.n_rebalances} "
+            f"rebalances with {len(pending)} calls outstanding"
+        )
+
+    def collect_stats(self) -> dict[str, int]:
+        """Aggregate build accounting across the live workers.
+
+        Only slots that ever accepted a task are queried: the others
+        have lazily-unspawned workers, and starting a whole process just
+        to hear "0 builds" would make close() pay worker start-up for an
+        index that never served a query. Builds done by a worker that
+        has since died are gone with it — the counter reflects the
+        indexes the surviving pool actually built, which is what the
+        build-once contract is about.
+        """
+        builds = 0
+        for slot_id in self._live_slot_ids():
+            if slot_id not in self._used_slots:
+                continue
+            try:
+                # Bounded wait: a wedged worker must not turn a stats
+                # snapshot (close() takes one) into an indefinite hang.
+                builds += (
+                    self._slots[slot_id]
+                    .submit(_worker_stats)
+                    .result(timeout=_STATS_TIMEOUT_S)
+                )
+            except (BrokenProcessPool, FuturesTimeoutError):
+                continue
+        return {"inner_builds": builds, "n_rebalances": self.n_rebalances}
 
     def close(self) -> None:
         self._finalizer()
@@ -555,6 +720,8 @@ class ShardedIndex(NeighborIndex):
         self._offsets: np.ndarray | None = None
         self._live: list[tuple[int, int, int]] = []  # (shard_id, lo, hi)
         self._executor_obj = None
+        self._parent_builds = 0
+        self._stats_snapshot: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -571,6 +738,8 @@ class ShardedIndex(NeighborIndex):
             raise InvalidParameterError(f"X must be 2-d; got shape {X.shape}")
         self.close()
         self._points = X
+        self._parent_builds = 0
+        self._stats_snapshot = {}
         self._offsets = shard_offsets(X.shape[0], self.n_shards)
         self._live = [
             (s, int(self._offsets[s]), int(self._offsets[s + 1]))
@@ -597,6 +766,7 @@ class ShardedIndex(NeighborIndex):
             indexes = {
                 s: self._make_inner().build(X[lo:hi]) for s, lo, hi in self._live
             }
+            self._parent_builds = len(indexes)
             if self.executor == "thread":
                 self._executor_obj = _ThreadExecutor(indexes, n_workers)
             else:
@@ -604,8 +774,13 @@ class ShardedIndex(NeighborIndex):
         return self
 
     def close(self) -> None:
-        """Release executor resources (pool, shared memory). Idempotent."""
+        """Release executor resources (pool, shared memory). Idempotent.
+
+        The final build accounting is snapshotted first, so
+        :meth:`stats` keeps answering after the pools are gone.
+        """
         if self._executor_obj is not None:
+            self._stats_snapshot = self._collect_stats()
             self._executor_obj.close()
             self._executor_obj = None
 
@@ -620,6 +795,35 @@ class ShardedIndex(NeighborIndex):
         """Number of non-empty shards after :meth:`build`."""
         self._require_built()
         return len(self._live)
+
+    def _collect_stats(self) -> dict[str, int]:
+        stats = {
+            "shard_live_shards": len(self._live),
+            "shard_inner_builds": self._parent_builds,
+            "shard_rebalances": 0,
+        }
+        if isinstance(self._executor_obj, _ProcessExecutor):
+            snapshot = self._executor_obj.collect_stats()
+            stats["shard_inner_builds"] = snapshot["inner_builds"]
+            stats["shard_rebalances"] = snapshot["n_rebalances"]
+        return stats
+
+    def stats(self) -> dict[str, int]:
+        """Instrumented build accounting of the current fit.
+
+        ``shard_inner_builds`` counts inner-index constructions since
+        :meth:`build`: eager per-shard builds for the serial/thread
+        executors, lazy in-worker builds (queried from the live workers)
+        for the process executor. The build-once contract is
+        ``shard_inner_builds == shard_live_shards`` once every shard has
+        served a query — never ``n_workers × n_shards``.
+        ``shard_rebalances`` counts worker-death rebalancing events.
+        After :meth:`close` the snapshot taken at close time is returned.
+        """
+        self._require_built()
+        if self._executor_obj is not None:
+            self._stats_snapshot = self._collect_stats()
+        return dict(self._stats_snapshot)
 
     def _require_executor(self):
         self._require_built()
@@ -737,6 +941,7 @@ class ShardingConfig:
     n_shards: int = 4
     executor: str = "serial"
     n_workers: int | None = None
+    query_block: int = DEFAULT_QUERY_BLOCK
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -746,9 +951,22 @@ class ShardingConfig:
                 f"executor must be one of {EXECUTOR_NAMES}; got {self.executor!r}"
             )
         if self.n_workers is not None and self.n_workers < 1:
+            raise InvalidParameterError(f"n_workers must be >= 1; got {self.n_workers}")
+        if self.query_block < 1:
             raise InvalidParameterError(
-                f"n_workers must be >= 1; got {self.n_workers}"
+                f"query_block must be >= 1; got {self.query_block}"
             )
+
+    def make_index(self, inner: str, inner_kwargs: dict) -> "ShardedIndex":
+        """An unbuilt :class:`ShardedIndex` configured per this config."""
+        return ShardedIndex(
+            inner=inner,
+            inner_kwargs=inner_kwargs,
+            n_shards=self.n_shards,
+            executor=self.executor,
+            n_workers=self.n_workers,
+            query_block=self.query_block,
+        )
 
 
 _ACTIVE_SHARDING: ShardingConfig | None = None
@@ -781,6 +999,7 @@ def sharded_queries(
     n_shards: int = 4,
     executor: str = "serial",
     n_workers: int | None = None,
+    query_block: int = DEFAULT_QUERY_BLOCK,
 ):
     """Scope an engine sharding configuration to a ``with`` block.
 
@@ -790,7 +1009,10 @@ def sharded_queries(
     """
     if config is None:
         config = ShardingConfig(
-            n_shards=n_shards, executor=executor, n_workers=n_workers
+            n_shards=n_shards,
+            executor=executor,
+            n_workers=n_workers,
+            query_block=query_block,
         )
     previous = set_sharding(config)
     try:
@@ -800,13 +1022,21 @@ def sharded_queries(
 
 
 def maybe_shard(index, config: ShardingConfig | None = None):
-    """Wrap a fitted single index per the active sharding configuration.
+    """Wrap a *fitted* single index per the active sharding configuration.
+
+    This is the fallback wrap-a-fitted-index path: it re-fits per-shard
+    copies of ``index``'s configuration over its own points, paying the
+    already-done whole-dataset build a second time. Hosts that can defer
+    the build should hand the *unbuilt* index to
+    :func:`resolve_engine_index` instead, which builds the shards
+    directly.
 
     Returns ``index`` unchanged when sharding is disabled, when the index
     is already sharded, or when its type has no picklable rebuild spec
-    (custom user indexes keep working, just unsharded). Otherwise builds
-    a :class:`ShardedIndex` over the same points with per-shard copies of
-    the index's configuration.
+    (custom user indexes keep working, just unsharded). A recognised
+    index whose points are unavailable — not built yet, or a subclass
+    that dropped the public ``points`` property — is returned unsharded
+    with a :class:`RuntimeWarning` naming the reason, never silently.
     """
     if config is None:
         config = sharding_config()
@@ -815,15 +1045,77 @@ def maybe_shard(index, config: ShardingConfig | None = None):
     spec = backend_spec_of(index)
     if spec is None:
         return index
-    points = getattr(index, "_points", None)
+    try:
+        points = index.points
+    except NotFittedError:
+        warnings.warn(
+            f"sharding is active but this {type(index).__name__} has not "
+            "been built: returning it unsharded (build it first, or hand "
+            "the unbuilt index to resolve_engine_index for a "
+            "shard-before-build fit)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return index
+    except AttributeError:
+        points = None
     if points is None:
+        warnings.warn(
+            f"sharding is active but {type(index).__name__} exposes no "
+            "public 'points' property: returning it unsharded",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return index
     name, kwargs = spec
-    sharded = ShardedIndex(
-        inner=name,
-        inner_kwargs=kwargs,
-        n_shards=config.n_shards,
-        executor=config.executor,
-        n_workers=config.n_workers,
-    )
-    return sharded.build(points)
+    return config.make_index(name, kwargs).build(points)
+
+
+def resolve_engine_index(index, X: np.ndarray, config: ShardingConfig | None = None):
+    """Resolve the engine's query index, building shard-first when possible.
+
+    The shard-before-build seam of the batched engine
+    (:class:`~repro.index.engine.NeighborhoodCache`): hosts hand over the
+    *unbuilt* backend they would have fitted themselves, and
+
+    * with sharding active and a registered backend spec, the per-shard
+      indexes are built directly over ``X`` — the whole-dataset index is
+      never constructed, so a sharded fit pays exactly ``n_live_shards``
+      inner builds;
+    * with sharding active but no picklable spec (a custom unbuilt
+      index), the single index is built and used unsharded, with a
+      :class:`RuntimeWarning`;
+    * with sharding inactive, the single index is built over ``X``
+      exactly as the host would have done.
+
+    A *fitted* index takes the legacy :func:`maybe_shard` fallback,
+    which re-fits shard copies over the index's own points (one
+    redundant whole-dataset build — the price of handing over a built
+    artifact).
+
+    Returns ``(resolved_index, owned)``. ``owned`` means the resolver
+    *built* the result — including the in-place build of an unbuilt
+    object the host handed over — and the host should treat it as the
+    engine's to ``close()``; only a fitted index passed through
+    untouched stays the caller's (``owned`` False).
+    """
+    if config is None:
+        config = sharding_config()
+    built = getattr(index, "is_built", None)
+    if built is None or built:
+        wrapped = maybe_shard(index, config)
+        return wrapped, wrapped is not index
+    if isinstance(index, ShardedIndex):
+        return index.build(X), True
+    if config is not None:
+        spec = backend_spec_of(index)
+        if spec is not None:
+            name, kwargs = spec
+            return config.make_index(name, kwargs).build(X), True
+        warnings.warn(
+            f"sharding is active but {type(index).__name__} has no "
+            "registered rebuild spec: building it unsharded",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return index.build(X), True

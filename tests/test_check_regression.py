@@ -97,6 +97,53 @@ class TestGateVerdicts:
         ]) == 0
 
 
+class TestCpuAwareSkips:
+    """Multi-core baselines must not gate smaller machines."""
+
+    CPU_ROW = dict(BASE_ROW, usable_cpus=4)
+
+    def test_fewer_cpus_than_baseline_skips_regression(self, dirs):
+        baselines, out = dirs
+        write_rows(baselines, "bench.json", [self.CPU_ROW])
+        # A crash on 1 CPU of a ratio anchored on 4 CPUs: not gated.
+        write_rows(
+            out, "bench.json", [dict(self.CPU_ROW, usable_cpus=1, query_speedup=0.9)]
+        )
+        assert check_regression.main([
+            "--baselines", str(baselines), "--out", str(out)
+        ]) == 0
+
+    def test_equal_or_more_cpus_still_gates(self, dirs):
+        baselines, out = dirs
+        write_rows(baselines, "bench.json", [self.CPU_ROW])
+        write_rows(
+            out, "bench.json", [dict(self.CPU_ROW, usable_cpus=8, query_speedup=0.9)]
+        )
+        assert check_regression.main([
+            "--baselines", str(baselines), "--out", str(out)
+        ]) == 1
+
+    def test_baseline_without_cpu_field_gates_normally(self, dirs):
+        baselines, out = dirs
+        write_rows(baselines, "bench.json", [BASE_ROW])
+        write_rows(
+            out, "bench.json", [dict(BASE_ROW, usable_cpus=1, query_speedup=0.9)]
+        )
+        assert check_regression.main([
+            "--baselines", str(baselines), "--out", str(out)
+        ]) == 1
+
+    def test_fewer_cpus_does_not_excuse_a_missing_row(self, dirs):
+        # The skip is about incomparable ratios, not absent benchmarks:
+        # a vanished fresh row still fails.
+        baselines, out = dirs
+        write_rows(baselines, "bench.json", [self.CPU_ROW])
+        write_rows(out, "bench.json", [dict(self.CPU_ROW, n=123, usable_cpus=1)])
+        assert check_regression.main([
+            "--baselines", str(baselines), "--out", str(out)
+        ]) == 1
+
+
 class TestGateRobustness:
     def test_missing_fresh_file_fails(self, dirs):
         baselines, out = dirs

@@ -37,11 +37,16 @@ class TestParser:
     def test_sharding_flags(self):
         args = build_parser().parse_args(
             ["timing", "--shards", "4", "--shard-executor", "process",
-             "--shard-workers", "2"]
+             "--shard-workers", "2", "--shard-query-block", "512"]
         )
         assert args.shards == 4
         assert args.shard_executor == "process"
         assert args.shard_workers == 2
+        assert args.shard_query_block == 512
+
+    def test_shard_query_block_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["timing", "--shard-query-block", "0"])
 
     def test_sharding_defaults_off(self):
         args = build_parser().parse_args(["timing"])

@@ -90,3 +90,9 @@ class TestRunSuite:
         assert sharded.ari == pytest.approx(baseline.ari)
         # Scoped to the suite, not left installed process-wide.
         assert sharding_config() is None
+        # Build-once accounting surfaces in both stats and the flat row.
+        assert sharded.stats["shard_inner_builds"] == 3
+        assert sharded.stats["shard_live_shards"] == 3
+        row = sharded.as_row()
+        assert row["shard_inner_builds"] == 3
+        assert "shard_inner_builds" not in baseline.as_row()

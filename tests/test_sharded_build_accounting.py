@@ -1,0 +1,182 @@
+"""Build-once accounting: each live shard's inner index builds exactly once.
+
+The cost contract of the sharded execution path (and the regression this
+suite pins): a sharded fit pays exactly ``n_live_shards`` inner-index
+constructions —
+
+* no discarded whole-dataset build (shard-before-build: the engine is
+  handed the *unbuilt* backend and constructs the per-shard indexes
+  directly), and
+* no per-worker rebuilds (the process executor pins every shard to one
+  worker, so a shard's index is built by exactly one process and reused
+  across every query block of the fit).
+
+Before this contract existed, a sharded tree fit paid ``1`` redundant
+whole-dataset build in ``maybe_shard`` plus up to ``n_workers ×
+n_shards`` lazy in-worker builds. The differential tests below count
+actual ``build`` calls in the parent process (monkeypatched class
+methods) and read the instrumented ``shard_inner_builds`` counter that
+:meth:`ShardedIndex.stats` aggregates across worker processes, across
+all three executors and all four registered inner backends; label
+equality vs the unsharded path rides along for DBSCAN and LAF-DBSCAN.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import DBSCAN
+from repro.core import LAFDBSCAN
+from repro.estimators import ExactCardinalityEstimator
+from repro.index import BruteForceIndex, CoverTree, GridIndex, KMeansTree, ShardedIndex
+from repro.index.sharded import EXECUTOR_NAMES, INNER_BACKENDS, sharded_queries
+from repro.testing import make_blobs_on_sphere
+
+EPS = 0.5
+TAU = 4
+N_SHARDS = 3
+
+#: Inner-backend grid mirroring tests/test_sharded_equivalence.py (the
+#: k-means tree in exact mode: approx pruning is shard-shape-dependent).
+BACKENDS = [
+    ("brute_force", {}),
+    ("cover_tree", {"base": 1.6}),
+    ("kmeans_tree", {"checks_ratio": 1.0, "seed": 0, "leaf_size": 8}),
+    ("grid", {"eps": EPS, "rho": 1.0}),
+]
+backend_ids = [n for n, _ in BACKENDS]
+
+#: index_factory equivalents for routing clusterers onto each backend.
+FACTORIES = {
+    "brute_force": lambda: BruteForceIndex(),
+    "cover_tree": lambda: CoverTree(base=1.6),
+    "kmeans_tree": lambda: KMeansTree(checks_ratio=1.0, seed=0, leaf_size=8),
+    "grid": lambda: GridIndex(eps=EPS, rho=1.0),
+}
+
+
+@pytest.fixture(scope="module")
+def data() -> np.ndarray:
+    X, _ = make_blobs_on_sphere(20, 3, 10, spread=0.25, seed=11)
+    return X
+
+
+@pytest.fixture
+def build_counter(monkeypatch):
+    """Count inner-backend ``build`` calls executed in *this* process.
+
+    Worker processes fork after the patch but count into their own copy,
+    so the counter isolates parent-side builds — exactly the builds the
+    shard-before-build path is supposed to eliminate or keep at
+    ``n_live_shards``.
+    """
+    counts = {"n": 0}
+    for cls in set(INNER_BACKENDS.values()):
+        original = cls.build
+
+        def counting_build(self, X, _original=original):
+            counts["n"] += 1
+            return _original(self, X)
+
+        monkeypatch.setattr(cls, "build", counting_build)
+    return counts
+
+
+@pytest.mark.parametrize("executor", EXECUTOR_NAMES)
+@pytest.mark.parametrize("name,kwargs", BACKENDS, ids=backend_ids)
+class TestShardedIndexBuildOnce:
+    def test_builds_equal_live_shards_across_query_rounds(
+        self, name, kwargs, executor, data
+    ):
+        with ShardedIndex(
+            inner=name,
+            inner_kwargs=kwargs,
+            n_shards=N_SHARDS,
+            executor=executor,
+            n_workers=2,
+        ).build(data) as index:
+            # Several rounds over every shard: pre-affinity, round 2+
+            # could land a shard on a worker that had never built it.
+            for _ in range(3):
+                index.batch_range_query(data, EPS)
+                index.batch_range_count(data, EPS)
+            stats = index.stats()
+            assert stats["shard_live_shards"] == N_SHARDS
+            assert stats["shard_inner_builds"] == N_SHARDS
+            assert stats["shard_rebalances"] == 0
+
+    def test_stats_survive_close(self, name, kwargs, executor, data):
+        index = ShardedIndex(
+            inner=name,
+            inner_kwargs=kwargs,
+            n_shards=N_SHARDS,
+            executor=executor,
+            n_workers=2,
+        ).build(data)
+        index.batch_range_query(data[:5], EPS)
+        index.close()
+        stats = index.stats()
+        assert stats["shard_inner_builds"] == N_SHARDS
+        assert stats["shard_live_shards"] == N_SHARDS
+
+
+def test_unqueried_process_index_reports_zero_builds(data):
+    # Lazy contract: no queries -> no worker builds, and close() must
+    # not spawn never-started workers just to hear "0 builds".
+    index = ShardedIndex(n_shards=N_SHARDS, executor="process", n_workers=2).build(
+        data
+    )
+    assert index.stats()["shard_inner_builds"] == 0
+    index.close()
+    assert index.stats()["shard_inner_builds"] == 0
+
+
+@pytest.mark.parametrize("executor", EXECUTOR_NAMES)
+@pytest.mark.parametrize("name,kwargs", BACKENDS, ids=backend_ids)
+class TestClustererFitBuildOnce:
+    def test_dbscan_fit_builds_each_shard_once(
+        self, name, kwargs, executor, data, build_counter
+    ):
+        baseline = DBSCAN(eps=EPS, tau=TAU, index_factory=FACTORIES[name]).fit(data)
+        parent_builds_before = build_counter["n"]
+        with sharded_queries(n_shards=N_SHARDS, executor=executor, n_workers=2):
+            result = DBSCAN(eps=EPS, tau=TAU, index_factory=FACTORIES[name]).fit(data)
+        parent_builds = build_counter["n"] - parent_builds_before
+        # Shard-before-build: the parent never constructs the
+        # whole-dataset index. Serial/thread build the shards in the
+        # parent; process workers build them out-of-process.
+        assert parent_builds == (0 if executor == "process" else N_SHARDS)
+        # Instrumented accounting across all processes: exactly one
+        # inner build per live shard per fit.
+        assert result.stats["shard_live_shards"] == N_SHARDS
+        assert result.stats["shard_inner_builds"] == N_SHARDS
+        assert result.stats["shard_rebalances"] == 0
+        # Sharding stays invisible: bit-identical clustering.
+        assert np.array_equal(result.labels, baseline.labels)
+        assert np.array_equal(result.core_mask, baseline.core_mask)
+
+
+@pytest.mark.parametrize("executor", EXECUTOR_NAMES)
+class TestLafDbscanBuildOnce:
+    def test_laf_fit_builds_each_shard_once_and_matches(
+        self, executor, data, build_counter
+    ):
+        def make():
+            return LAFDBSCAN(
+                eps=EPS, tau=TAU, estimator=ExactCardinalityEstimator(), alpha=1.0
+            )
+
+        baseline = make().fit(data)
+        parent_builds_before = build_counter["n"]
+        with sharded_queries(n_shards=N_SHARDS, executor=executor, n_workers=2):
+            result = make().fit(data)
+        parent_builds = build_counter["n"] - parent_builds_before
+        # The oracle estimator builds one BruteForceIndex of its own in
+        # bind() — estimator machinery, not the range-query engine; the
+        # engine itself contributes 0 (process) / N_SHARDS parent builds.
+        assert parent_builds == (0 if executor == "process" else N_SHARDS) + 1
+        assert result.stats["shard_inner_builds"] == N_SHARDS
+        assert np.array_equal(result.labels, baseline.labels)
+        assert result.stats["range_queries"] == baseline.stats["range_queries"]
+        assert result.stats["skipped_queries"] == baseline.stats["skipped_queries"]

@@ -346,12 +346,96 @@ class TestEngineWiring:
 
         opaque = Opaque()
         config = ShardingConfig(n_shards=2)
+        # No rebuild spec: silent passthrough (custom indexes keep
+        # working, just unsharded — the documented fallback).
         assert maybe_shard(opaque, config) is opaque
         already = ShardedIndex(n_shards=2).build(data)
         assert maybe_shard(already, config) is already
-        assert maybe_shard(BruteForceIndex(), config) is not None  # unbuilt: no-op
+
+    def test_maybe_shard_warns_on_unbuilt_recognised_index(self):
+        # A recognised backend whose points are unavailable must warn,
+        # never silently skip sharding.
         unbuilt = BruteForceIndex()
-        assert maybe_shard(unbuilt, config) is unbuilt
+        with pytest.warns(RuntimeWarning, match="has not been built"):
+            assert maybe_shard(unbuilt, ShardingConfig(n_shards=2)) is unbuilt
+
+    def test_maybe_shard_warns_when_points_property_is_gone(self, data):
+        class NoPoints(BruteForceIndex):
+            @property
+            def points(self):
+                return None
+
+        index = NoPoints().build(data)
+        with pytest.warns(RuntimeWarning, match="points"):
+            assert maybe_shard(index, ShardingConfig(n_shards=2)) is index
+
+    def test_resolve_engine_index_builds_shards_directly(self, data):
+        from repro.index.sharded import resolve_engine_index
+
+        resolved, owned = resolve_engine_index(
+            BruteForceIndex(), data, ShardingConfig(n_shards=3)
+        )
+        assert owned
+        assert isinstance(resolved, ShardedIndex)
+        assert resolved.n_live_shards == 3
+        stats = resolved.stats()
+        # Shard-before-build: exactly one build per live shard, no
+        # discarded whole-dataset build.
+        assert stats["shard_inner_builds"] == stats["shard_live_shards"] == 3
+        resolved.close()
+
+    def test_resolve_engine_index_without_config_builds_single(self, data):
+        from repro.index.sharded import resolve_engine_index
+
+        unbuilt = BruteForceIndex()
+        resolved, owned = resolve_engine_index(unbuilt, data, None)
+        assert resolved is unbuilt and owned
+        assert resolved.is_built
+        assert resolved.n_points == data.shape[0]
+
+    def test_resolve_engine_index_fitted_takes_fallback(self, data):
+        from repro.index.sharded import resolve_engine_index
+
+        fitted = BruteForceIndex().build(data)
+        resolved, owned = resolve_engine_index(fitted, data, None)
+        assert resolved is fitted and not owned
+        wrapped, owned = resolve_engine_index(
+            fitted, data, ShardingConfig(n_shards=2)
+        )
+        assert isinstance(wrapped, ShardedIndex) and owned
+        wrapped.close()
+
+    def test_resolve_engine_index_warns_on_unbuilt_custom_index(self, data):
+        from repro.index.sharded import resolve_engine_index
+
+        class Custom:
+            """Spec-less duck-typed index: built once, used unsharded."""
+
+            is_built = False
+
+            def build(self, X):
+                self.is_built = True
+                self.n = X.shape[0]
+                return self
+
+        with pytest.warns(RuntimeWarning, match="rebuild spec"):
+            resolved, owned = resolve_engine_index(
+                Custom(), data, ShardingConfig(n_shards=2)
+            )
+        assert isinstance(resolved, Custom) and resolved.is_built and owned
+
+    @pytest.mark.parametrize("name,kwargs", BACKENDS, ids=backend_ids)
+    def test_public_points_property_on_every_backend(self, name, kwargs, data):
+        """Sharding keys on the public ``points`` accessor, not ``_points``."""
+        index = make_inner_backend(name, kwargs)
+        assert index.is_built is False
+        with pytest.raises(NotFittedError):
+            _ = index.points
+        index.build(data)
+        assert index.is_built is True
+        assert index.points.shape == data.shape
+        assert np.array_equal(index.points, data)
+        assert index.n_points == data.shape[0]
 
     def test_backend_spec_roundtrip(self, data):
         for name, kwargs in BACKENDS:
