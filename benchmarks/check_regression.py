@@ -171,9 +171,7 @@ def compare_file(
 
 def check(out_dir: str, baselines_dir: str, threshold: float) -> list[Finding]:
     """Gate every committed baseline; returns all findings."""
-    names = sorted(
-        name for name in os.listdir(baselines_dir) if name.endswith(".json")
-    )
+    names = sorted(name for name in os.listdir(baselines_dir) if name.endswith(".json"))
     if not names:
         raise ValueError(f"no baseline files in {baselines_dir}")
     findings: list[Finding] = []

@@ -18,6 +18,7 @@ from conftest import out_path
 
 from repro.clustering import DBSCAN
 from repro.distances import normalize_rows
+from repro.engine_config import ExecutionConfig
 from repro.experiments.reporting import save_json
 from repro.index import BruteForceIndex
 from repro.testing import make_blobs_on_sphere
@@ -62,12 +63,11 @@ def test_engine_batching_speedup(n):
     t_batched = _best_of(lambda: _neighborhoods_batched(index, X))
     query_speedup = t_scalar / t_batched
 
+    per_point = ExecutionConfig(batch_queries=False)
     t_fit_scalar = _best_of(
-        lambda: DBSCAN(eps=EPS, tau=TAU, batch_queries=False).fit(X), repeats=1
+        lambda: DBSCAN(eps=EPS, tau=TAU, execution=per_point).fit(X), repeats=1
     )
-    t_fit_batched = _best_of(
-        lambda: DBSCAN(eps=EPS, tau=TAU, batch_queries=True).fit(X), repeats=1
-    )
+    t_fit_batched = _best_of(lambda: DBSCAN(eps=EPS, tau=TAU).fit(X), repeats=1)
     fit_speedup = t_fit_scalar / t_fit_batched
 
     rows = [

@@ -29,7 +29,9 @@ def _run_all_sweeps(X, gt_labels, estimator):
     points += sweep_laf_alpha(
         X, gt_labels, estimator, EPS, TAU, alphas=(1.1, 1.5, 2.0, 3.0, 5.0, 8.0, 15.0)
     )
-    points += sweep_dbscanpp(X, gt_labels, estimator, EPS, TAU, deltas=(0.1, 0.3, 0.5, 0.7, 0.9))
+    points += sweep_dbscanpp(
+        X, gt_labels, estimator, EPS, TAU, deltas=(0.1, 0.3, 0.5, 0.7, 0.9)
+    )
     points += sweep_laf_dbscanpp(
         X, gt_labels, estimator, EPS, TAU, deltas=(0.1, 0.3, 0.5, 0.7, 0.9)
     )

@@ -26,7 +26,9 @@ def _run_all_sweeps(X, gt_labels, estimator):
         X, gt_labels, estimator, EPS, TAU, alphas=(1.1, 2.0, 5.0, 10.0, 15.0)
     )
     points += sweep_dbscanpp(X, gt_labels, estimator, EPS, TAU, deltas=(0.1, 0.5, 0.9))
-    points += sweep_laf_dbscanpp(X, gt_labels, estimator, EPS, TAU, deltas=(0.1, 0.5, 0.9))
+    points += sweep_laf_dbscanpp(
+        X, gt_labels, estimator, EPS, TAU, deltas=(0.1, 0.5, 0.9)
+    )
     points += sweep_knn_block(
         X, gt_labels, EPS, TAU, branchings=(3, 10, 20), checks=(0.01, 0.1, 0.3)
     )

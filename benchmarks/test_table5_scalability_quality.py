@@ -37,4 +37,6 @@ def test_table5_scalability_quality(benchmark, ms_workloads):
     laf = {r.dataset: r for r in records if r.method == "LAF-DBSCAN"}
     assert all(r.ami > 0.0 for r in laf.values())
 
-    save_json(out_path("table5_scalability_quality.json"), [r.as_row() for r in records])
+    save_json(
+        out_path("table5_scalability_quality.json"), [r.as_row() for r in records]
+    )

@@ -68,8 +68,10 @@ def main() -> None:
     dataset = load_dataset("MS-50k", scale=SCALE, seed=0)
     train, test = dataset.split()
     gt = DBSCAN(eps=EPS, tau=TAU).fit(test)
-    print(f"Test split {test.shape[0]} x {dataset.dim}; "
-          f"DBSCAN: {gt.n_clusters} clusters\n")
+    print(
+        f"Test split {test.shape[0]} x {dataset.dim}; "
+        f"DBSCAN: {gt.n_clusters} clusters\n"
+    )
 
     estimators = {
         "custom-pivot-interp": PivotInterpolationEstimator(seed=0).fit(train),
@@ -80,9 +82,7 @@ def main() -> None:
     print(header)
     print("-" * len(header))
     for name, estimator in estimators.items():
-        clusterer = LAFDBSCAN(
-            eps=EPS, tau=TAU, estimator=estimator, alpha=1.2, seed=0
-        )
+        clusterer = LAFDBSCAN(eps=EPS, tau=TAU, estimator=estimator, alpha=1.2, seed=0)
         started = time.perf_counter()
         result = clusterer.fit(test)
         elapsed = time.perf_counter() - started

@@ -18,15 +18,21 @@ import time
 
 import numpy as np
 
+import repro
 from repro import RMICardinalityEstimator
 from repro.data import load_dataset
 from repro.experiments import MethodContext, build_method
 from repro.experiments.methods import APPROXIMATE_METHODS
 from repro.metrics import adjusted_mutual_info, adjusted_rand_index
-from repro.clustering import DBSCAN
 
 SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "0.04"))
 EPS, TAU = 0.55, 5
+
+# One ExecutionConfig threads through every method below via
+# MethodContext — e.g. repro.ExecutionConfig(
+#     sharding=repro.ShardingConfig(n_shards=4, executor="process"))
+# shards every engine-routed fit. None keeps the defaults.
+EXECUTION = None
 
 
 def representatives(X: np.ndarray, labels: np.ndarray) -> np.ndarray:
@@ -44,21 +50,30 @@ def representatives(X: np.ndarray, labels: np.ndarray) -> np.ndarray:
 def main() -> None:
     dataset = load_dataset("MS-100k", scale=SCALE, seed=1)
     train, test = dataset.split()
-    print(f"Corpus: {test.shape[0]} passage embeddings ({dataset.dim}-d), "
-          f"estimator trained on {train.shape[0]} held-out passages")
+    print(
+        f"Corpus: {test.shape[0]} passage embeddings ({dataset.dim}-d), "
+        f"estimator trained on {train.shape[0]} held-out passages"
+    )
 
     estimator = RMICardinalityEstimator(epochs=40, n_train_queries=400, seed=0)
     estimator.fit(train)
 
-    gt = DBSCAN(eps=EPS, tau=TAU).fit(test)
-    print(f"\nGround truth (DBSCAN): {gt.n_clusters} topics, "
-          f"{gt.noise_ratio:.0%} unique passages\n")
+    gt = repro.cluster(test, algo="dbscan", eps=EPS, tau=TAU, execution=EXECUTION)
+    print(
+        f"\nGround truth (DBSCAN): {gt.n_clusters} topics, "
+        f"{gt.noise_ratio:.0%} unique passages\n"
+    )
 
     header = f"{'method':14s} {'time':>8s} {'ARI':>7s} {'AMI':>7s} {'kept':>6s}"
     print(header)
     print("-" * len(header))
     ctx = MethodContext(
-        eps=EPS, tau=TAU, alpha=dataset.spec.alpha, estimator=estimator, seed=0
+        eps=EPS,
+        tau=TAU,
+        alpha=dataset.spec.alpha,
+        estimator=estimator,
+        seed=0,
+        execution=EXECUTION,
     )
     for name in APPROXIMATE_METHODS:
         clusterer = build_method(name, ctx, test)

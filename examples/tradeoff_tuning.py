@@ -30,8 +30,10 @@ def main() -> None:
     estimator.fit(train)
 
     gt = DBSCAN(eps=EPS, tau=TAU).fit(test)
-    print(f"Glove surrogate: {test.shape[0]} x {dataset.dim}; "
-          f"DBSCAN finds {gt.n_clusters} clusters, noise {gt.noise_ratio:.0%}")
+    print(
+        f"Glove surrogate: {test.shape[0]} x {dataset.dim}; "
+        f"DBSCAN finds {gt.n_clusters} clusters, noise {gt.noise_ratio:.0%}"
+    )
 
     print("\nalpha sweep (speed-quality trade-off, Figure 3's LAF curve):")
     print(f"{'alpha':>7s} {'time':>8s} {'ARI':>7s} {'AMI':>7s}")

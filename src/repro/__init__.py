@@ -5,21 +5,33 @@ Angular-Distance-Based High-Dimensional DBSCAN" (EDBT 2023).
 
 Quickstart::
 
-    from repro import LAFDBSCAN, DBSCAN, RMICardinalityEstimator
+    import repro
+    from repro import ExecutionConfig, RMICardinalityEstimator, ShardingConfig
     from repro.data import load_dataset
 
     ds = load_dataset("MS-50k", scale=0.01, seed=0)
     train, test = ds.split()
 
     estimator = RMICardinalityEstimator(seed=0).fit(train)
-    fast = LAFDBSCAN(eps=0.55, tau=5, estimator=estimator,
-                     alpha=ds.spec.alpha).fit(test)
-    exact = DBSCAN(eps=0.55, tau=5).fit(test)
+    exact = repro.cluster(test, algo="dbscan", eps=0.55, tau=5)
+    fast = repro.cluster(
+        test,
+        algo="laf-dbscan",
+        eps=0.55,
+        tau=5,
+        estimator=estimator,
+        alpha=ds.spec.alpha,
+        execution=ExecutionConfig(sharding=ShardingConfig(n_shards=4)),
+    )
 
-See ``examples/`` for full pipelines and ``benchmarks/`` for the
-reproduction of every table and figure in the paper.
+Execution policy (index backend, batching, sharding, cache eviction) is
+one declarative :class:`ExecutionConfig` threaded through every
+clusterer — never global state. See ``examples/`` for full pipelines
+and ``benchmarks/`` for the reproduction of every table and figure in
+the paper.
 """
 
+from repro.api import cluster, clusterer_names, make_clusterer
 from repro.clustering import (
     BlockDBSCAN,
     Clusterer,
@@ -29,6 +41,7 @@ from repro.clustering import (
     KNNBlockDBSCAN,
     RhoApproxDBSCAN,
 )
+from repro.engine_config import ExecutionConfig, IndexSpec
 from repro.core import (
     LAF,
     LAFDBSCAN,
@@ -54,6 +67,7 @@ from repro.exceptions import (
     NotFittedError,
     ReproError,
 )
+from repro.index.sharded import ShardingConfig
 from repro.metrics import (
     adjusted_mutual_info,
     adjusted_rand_index,
@@ -73,6 +87,8 @@ __all__ = [
     "DataValidationError",
     "EstimatorError",
     "ExactCardinalityEstimator",
+    "ExecutionConfig",
+    "IndexSpec",
     "InvalidParameterError",
     "KDECardinalityEstimator",
     "KNNBlockDBSCAN",
@@ -87,8 +103,12 @@ __all__ = [
     "ReproError",
     "RhoApproxDBSCAN",
     "SamplingCardinalityEstimator",
+    "ShardingConfig",
     "adjusted_mutual_info",
     "adjusted_rand_index",
+    "cluster",
+    "clusterer_names",
+    "make_clusterer",
     "missed_cluster_stats",
     "noise_ratio",
     "post_process",

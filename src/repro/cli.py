@@ -11,12 +11,20 @@ Usage (after ``pip install -e .``)::
 Every subcommand prepares the paper's pipeline (generate -> 8:2 split ->
 train RMI on the training split) at ``--scale`` and prints the
 paper-shaped table; ``--json PATH`` additionally writes the rows.
+
+Execution flags (``--index``, ``--per-point``, ``--engine-block``,
+``--shards`` / ``--shard-executor`` / ``--shard-workers`` /
+``--shard-query-block``) all map into one
+:class:`~repro.engine_config.ExecutionConfig` threaded through the
+experiment functions — no global state is installed.
 """
 
 from __future__ import annotations
 
 import argparse
 
+from repro.engine_config import DEFAULT_ENGINE_BLOCK, ExecutionConfig, IndexSpec
+from repro.exceptions import InvalidParameterError
 from repro.experiments.efficiency import speedup_summary, timing_comparison
 from repro.experiments.missed import missed_cluster_analysis
 from repro.experiments.param_select import parameter_grid
@@ -29,9 +37,9 @@ from repro.experiments.tradeoff import (
     sweep_laf_dbscanpp,
 )
 from repro.experiments.workloads import prepare_workloads
-from repro.index.sharded import EXECUTOR_NAMES, sharded_queries
+from repro.index.sharded import EXECUTOR_NAMES, INNER_BACKENDS, ShardingConfig
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "execution_from_args"]
 
 
 def _positive_int(text: str) -> int:
@@ -61,6 +69,28 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--epochs", type=int, default=40)
         p.add_argument("--json", default=None, help="write rows as JSON here")
+        p.add_argument(
+            "--index",
+            # The grid backend needs an eps at construction time and is
+            # rho-approximate DBSCAN's own substrate anyway; the CLI
+            # offers the backends constructible from their defaults.
+            choices=sorted(set(INNER_BACKENDS) - {"grid"}),
+            default=None,
+            help="range-query backend for every engine-routed method "
+            "(default: each method's own substrate)",
+        )
+        p.add_argument(
+            "--per-point",
+            action="store_true",
+            help="disable the batched engine (per-point reference loops)",
+        )
+        p.add_argument(
+            "--engine-block",
+            type=_positive_int,
+            default=None,
+            help="queries per batched engine call "
+            f"(default: {DEFAULT_ENGINE_BLOCK})",
+        )
         p.add_argument(
             "--shards",
             type=_positive_int,
@@ -116,6 +146,33 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def execution_from_args(args) -> ExecutionConfig:
+    """Fold every execution flag into one :class:`ExecutionConfig`.
+
+    The single config threads through the experiment functions and into
+    every clusterer of the run — index backend, batching, engine block
+    size and sharding are one declarative object, not ambient state.
+    """
+    sharding = None
+    if args.shards is not None:
+        sharding_kwargs = dict(
+            n_shards=args.shards,
+            executor=args.shard_executor,
+            n_workers=args.shard_workers,
+        )
+        if args.shard_query_block is not None:
+            sharding_kwargs["query_block"] = args.shard_query_block
+        sharding = ShardingConfig(**sharding_kwargs)
+    return ExecutionConfig(
+        index=None if args.index is None else IndexSpec(args.index),
+        sharding=sharding,
+        batch_queries=not args.per_point,
+        query_block=(
+            DEFAULT_ENGINE_BLOCK if args.engine_block is None else args.engine_block
+        ),
+    )
+
+
 def _prepare(args, names) -> tuple[dict, dict, dict]:
     workloads = prepare_workloads(
         tuple(names), scale=args.scale, seed=args.seed, epochs=args.epochs
@@ -126,29 +183,42 @@ def _prepare(args, names) -> tuple[dict, dict, dict]:
     return datasets, estimators, alphas
 
 
-def _cmd_quality(args) -> list[dict]:
+def _cmd_quality(args, execution: ExecutionConfig) -> list[dict]:
     datasets, estimators, alphas = _prepare(args, args.datasets)
-    records = quality_comparison(datasets, estimators, alphas, args.eps, args.tau)
+    records = quality_comparison(
+        datasets, estimators, alphas, args.eps, args.tau, execution=execution
+    )
     for metric in ("ARI", "AMI"):
         headers, rows = pivot(records, value=metric)
-        print(format_table(headers, rows, title=f"{metric} @ eps={args.eps}, tau={args.tau}"))
+        print(
+            format_table(
+                headers, rows, title=f"{metric} @ eps={args.eps}, tau={args.tau}"
+            )
+        )
         print()
     return [r.as_row() for r in records]
 
 
-def _cmd_timing(args) -> list[dict]:
+def _cmd_timing(args, execution: ExecutionConfig) -> list[dict]:
     datasets, estimators, alphas = _prepare(args, args.datasets)
-    records = timing_comparison(datasets, estimators, alphas, args.eps, args.tau)
+    records = timing_comparison(
+        datasets, estimators, alphas, args.eps, args.tau, execution=execution
+    )
     headers, rows = pivot(records, value="time_s")
-    print(format_table(headers, rows, title=f"time (s) @ eps={args.eps}, tau={args.tau}"))
+    print(
+        format_table(headers, rows, title=f"time (s) @ eps={args.eps}, tau={args.tau}")
+    )
     print("speedups:", speedup_summary(records))
     return [r.as_row() for r in records]
 
 
-def _cmd_grid(args) -> list[dict]:
+def _cmd_grid(args, execution: ExecutionConfig) -> list[dict]:
     datasets, _, _ = _prepare(args, args.datasets)
     cells = parameter_grid(
-        datasets, eps_values=args.eps_values, tau_values=args.tau_values
+        datasets,
+        eps_values=args.eps_values,
+        tau_values=args.tau_values,
+        execution=execution,
     )
     by_pair: dict[tuple[float, int], dict[str, str]] = {}
     for cell in cells:
@@ -171,34 +241,55 @@ def _cmd_grid(args) -> list[dict]:
     ]
 
 
-def _cmd_tradeoff(args) -> list[dict]:
+def _cmd_tradeoff(args, execution: ExecutionConfig) -> list[dict]:
     datasets, estimators, _ = _prepare(args, [args.dataset])
     X = datasets[args.dataset]
     estimator = estimators[args.dataset]
-    gt = ground_truth(X, args.eps, args.tau)
+    gt = ground_truth(X, args.eps, args.tau, execution=execution)
     points = []
-    points += sweep_laf_alpha(X, gt.labels, estimator, args.eps, args.tau)
-    points += sweep_dbscanpp(X, gt.labels, estimator, args.eps, args.tau)
-    points += sweep_laf_dbscanpp(X, gt.labels, estimator, args.eps, args.tau)
+    points += sweep_laf_alpha(
+        X, gt.labels, estimator, args.eps, args.tau, execution=execution
+    )
+    points += sweep_dbscanpp(
+        X, gt.labels, estimator, args.eps, args.tau, execution=execution
+    )
+    points += sweep_laf_dbscanpp(
+        X, gt.labels, estimator, args.eps, args.tau, execution=execution
+    )
     headers = ["method", "knob", "value", "time_s", "ARI", "AMI"]
     rows = [[p.as_row()[h] for h in headers] for p in points]
     print(format_table(headers, rows, title=f"trade-off on {args.dataset}"))
     return [p.as_row() for p in points]
 
 
-def _cmd_missed(args) -> list[dict]:
+def _cmd_missed(args, execution: ExecutionConfig) -> list[dict]:
     datasets, estimators, alphas = _prepare(args, [args.dataset])
     alpha = args.alpha if args.alpha is not None else alphas[args.dataset]
     stats, run_stats = missed_cluster_analysis(
-        datasets[args.dataset], estimators[args.dataset], args.eps, args.tau, alpha
+        datasets[args.dataset],
+        estimators[args.dataset],
+        args.eps,
+        args.tau,
+        alpha,
+        execution=execution,
     )
     row = stats.as_row()
     print(
         format_table(
             ["dataset", "MC/TC", "MP/TPC", "ASMC", "FN detected"],
-            [[args.dataset, row["MC/TC"], row["MP/TPC"], row["ASMC"],
-              run_stats.get("fn_detected", 0)]],
-            title=f"fully missed clusters @ eps={args.eps}, tau={args.tau}, alpha={alpha}",
+            [
+                [
+                    args.dataset,
+                    row["MC/TC"],
+                    row["MP/TPC"],
+                    row["ASMC"],
+                    run_stats.get("fn_detected", 0),
+                ]
+            ],
+            title=(
+                f"fully missed clusters @ eps={args.eps}, "
+                f"tau={args.tau}, alpha={alpha}"
+            ),
         )
     )
     return [{**row, "dataset": args.dataset, "alpha": alpha}]
@@ -215,25 +306,15 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro``."""
-    args = build_parser().parse_args(argv)
-    if args.shards is not None:
-        # Engine-level sharding: every clusterer that routes
-        # neighborhoods through NeighborhoodCache fans its range queries
-        # across row shards for the duration of the command. Each live
-        # shard's inner index is built exactly once per fit
-        # (shard-before-build + shard→worker affinity); the per-fit
-        # build counters ride along in the JSON rows' stats.
-        sharding_kwargs = dict(
-            n_shards=args.shards,
-            executor=args.shard_executor,
-            n_workers=args.shard_workers,
-        )
-        if args.shard_query_block is not None:
-            sharding_kwargs["query_block"] = args.shard_query_block
-        with sharded_queries(**sharding_kwargs):
-            rows = _COMMANDS[args.command](args)
-    else:
-        rows = _COMMANDS[args.command](args)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        execution = execution_from_args(args)
+    except InvalidParameterError as exc:
+        # e.g. --per-point with --shards: a config contradiction, shown
+        # as a usage error instead of a traceback.
+        parser.error(str(exc))
+    rows = _COMMANDS[args.command](args, execution)
     if args.json:
         save_json(args.json, rows)
         print(f"\nwrote {args.json}")

@@ -3,12 +3,17 @@
 from __future__ import annotations
 
 import abc
+import contextlib
 import dataclasses
+import warnings
 
 import numpy as np
 
 from repro.distances.metric import COSINE, Metric, get_metric
+from repro.engine_config import ExecutionConfig, IndexSpec
 from repro.exceptions import InvalidParameterError
+from repro.index.brute_force import BruteForceIndex
+from repro.index.engine import NeighborhoodCache, PerPointQueries, fresh_engine_index
 
 __all__ = ["NOISE", "ClusteringResult", "Clusterer", "canonicalize_labels"]
 
@@ -20,17 +25,23 @@ def canonicalize_labels(labels: np.ndarray) -> np.ndarray:
     """Relabel clusters to ``0 .. k-1`` in order of first appearance.
 
     Noise (``-1``) is preserved. Makes results deterministic and
-    comparable regardless of internal id assignment order.
+    comparable regardless of internal id assignment order. Vectorized:
+    one ``np.unique(return_inverse)`` pass plus a first-appearance rank,
+    no per-element Python loop.
     """
     labels = np.asarray(labels, dtype=np.int64)
     out = np.full_like(labels, NOISE)
-    mapping: dict[int, int] = {}
-    for i, label in enumerate(labels):
-        if label == NOISE:
-            continue
-        if label not in mapping:
-            mapping[label] = len(mapping)
-        out[i] = mapping[label]
+    clustered = np.flatnonzero(labels != NOISE)
+    if clustered.size == 0:
+        return out
+    uniq, inverse = np.unique(labels[clustered], return_inverse=True)
+    # Position of each unique label's first appearance, then the rank of
+    # those positions = the label's first-appearance order.
+    first_pos = np.full(uniq.size, labels.size, dtype=np.int64)
+    np.minimum.at(first_pos, inverse, clustered)
+    rank = np.empty(uniq.size, dtype=np.int64)
+    rank[np.argsort(first_pos, kind="stable")] = np.arange(uniq.size)
+    out[clustered] = rank[inverse]
     return out
 
 
@@ -86,15 +97,165 @@ class Clusterer(abc.ABC):
     and LAF-DBSCAN also accept ``metric="euclidean"`` (the paper's
     future-work extension); the tree/grid-based baselines are tied to
     the unit sphere by their Equation 1 conversions and stay cosine.
+
+    Execution policy — backend choice, batching, sharding, cache
+    eviction — is one declarative
+    :class:`~repro.engine_config.ExecutionConfig` passed as
+    ``execution``; :meth:`_engine` resolves it into the engine a fit
+    queries through. Nothing about execution lives in global state, so
+    concurrent fits with different configurations cannot interfere.
     """
 
-    def __init__(self, eps: float, tau: int, metric: str | Metric = COSINE) -> None:
+    def __init__(
+        self,
+        eps: float,
+        tau: int,
+        metric: str | Metric = COSINE,
+        execution: ExecutionConfig | None = None,
+    ) -> None:
         self.metric = get_metric(metric)
         self.metric.check_eps(eps)
         if tau < 1:
             raise InvalidParameterError(f"tau must be at least 1; got {tau}")
         self.eps = float(eps)
         self.tau = int(tau)
+        if execution is None:
+            execution = ExecutionConfig()
+        elif not isinstance(execution, ExecutionConfig):
+            raise InvalidParameterError(
+                "execution must be an ExecutionConfig or None; "
+                f"got {type(execution).__name__}"
+            )
+        self.execution = execution
+
+    # ------------------------------------------------------------------
+    # Execution resolution
+    # ------------------------------------------------------------------
+
+    def _resolve_legacy_execution(
+        self,
+        index_factory=None,
+        batch_queries: bool | None = None,
+    ) -> None:
+        """Fold deprecated constructor kwargs into :attr:`execution`.
+
+        Each legacy kwarg emits exactly one :class:`DeprecationWarning`
+        and overrides the corresponding :class:`ExecutionConfig` field,
+        so legacy constructions stay bit-identical to their first-class
+        equivalents.
+        """
+        owner = type(self).__name__
+        if index_factory is not None:
+            warnings.warn(
+                f"{owner}(index_factory=...) is deprecated; pass "
+                "execution=ExecutionConfig(index=IndexSpec(name, kwargs)) "
+                "(or IndexSpec.custom(factory) for a custom backend)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            self.execution = dataclasses.replace(
+                self.execution, index=IndexSpec.custom(index_factory)
+            )
+        if batch_queries is not None:
+            warnings.warn(
+                f"{owner}(batch_queries=...) is deprecated; pass "
+                "execution=ExecutionConfig(batch_queries=...)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            self.execution = dataclasses.replace(
+                self.execution, batch_queries=bool(batch_queries)
+            )
+
+    def _default_index(self):
+        """The backend used when the execution config names none."""
+        return BruteForceIndex(metric=self.metric)
+
+    def _make_index(self):
+        """Resolve :attr:`execution`'s index spec in this clusterer's metric.
+
+        A named spec carries no metric of its own, so the clusterer's
+        metric is threaded into backends that take one (brute force) —
+        otherwise ``IndexSpec("brute_force")`` would silently answer
+        cosine queries under a euclidean clusterer. The tree/grid
+        backends are tied to the unit sphere by their Equation 1
+        conversions, so naming one under a non-cosine metric is a
+        configuration error, not a silent degradation. Custom factory
+        specs wire their own metric, exactly as ``index_factory`` did.
+        """
+        spec = self.execution.index
+        if spec is None:
+            return self._default_index()
+        if spec.is_custom:
+            return spec.make()
+        if spec.name == "brute_force":
+            if "metric" not in spec.kwargs:
+                return BruteForceIndex(metric=self.metric, **spec.kwargs)
+            spec_metric = get_metric(spec.kwargs["metric"])
+            if spec_metric.name != self.metric.name:
+                raise InvalidParameterError(
+                    f"IndexSpec metric {spec_metric.name!r} contradicts the "
+                    f"clusterer's metric {self.metric.name!r}; drop the "
+                    "spec's 'metric' kwarg to inherit the clusterer's"
+                )
+            return spec.make()
+        if self.metric.name != COSINE.name:
+            raise InvalidParameterError(
+                f"index backend {spec.name!r} is tied to cosine distance "
+                f"(Equation 1) and cannot serve metric={self.metric.name!r}; "
+                "use a brute_force spec or a custom factory"
+            )
+        return spec.make()
+
+    @contextlib.contextmanager
+    def _engine(self, X: np.ndarray, *, plan=None, prebuilt=None):
+        """The shared engine lifecycle of every fit.
+
+        Resolves :attr:`execution` into a query engine over ``X`` —
+        :class:`~repro.index.engine.NeighborhoodCache` (batched path,
+        handed the *unbuilt* backend so it builds exactly once,
+        shard-first when sharding is configured) or
+        :class:`~repro.index.engine.PerPointQueries` (the per-point
+        reference path) — optionally pre-planning ``plan``, and closes
+        it deterministically on exit. The ``finally`` matters: a fit
+        raising mid-query pins its frame in the traceback, so without
+        an explicit close a process executor's shared-memory segment
+        would leak until gc.
+
+        ``prebuilt`` hands over an already-built substrate instead of
+        resolving one from the config (ρ-approximate DBSCAN's grid,
+        which the algorithm also needs directly).
+        """
+        cfg = self.execution
+        if cfg.batch_queries:
+            if prebuilt is not None:
+                backend = prebuilt
+            else:
+                backend = fresh_engine_index(self._make_index(), X)
+            engine = NeighborhoodCache(
+                backend,
+                X,
+                self.eps,
+                block_size=cfg.query_block,
+                sharding=cfg.sharding,
+                evict_on_fetch=cfg.evict_on_fetch,
+            )
+        else:
+            if prebuilt is not None:
+                backend = prebuilt
+            else:
+                backend = self._make_index().build(X)
+            engine = PerPointQueries(backend, X, self.eps)
+        try:
+            if plan is not None:
+                engine.plan(plan)
+            yield engine
+        finally:
+            engine.close()
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
 
     @abc.abstractmethod
     def fit(self, X: np.ndarray) -> ClusteringResult:

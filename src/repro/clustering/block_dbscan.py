@@ -41,9 +41,9 @@ from repro.distances import (
     euclidean_from_cosine,
     iter_distance_blocks,
 )
+from repro.engine_config import ExecutionConfig
 from repro.exceptions import InvalidParameterError
 from repro.index.cover_tree import CoverTree
-from repro.index.engine import NeighborhoodCache
 
 __all__ = ["BlockDBSCAN"]
 
@@ -60,16 +60,18 @@ class BlockDBSCAN(Clusterer):
     rnt:
         Maximum iterations when approximating the minimum distance
         between two inner core blocks (paper default 10).
+    execution:
+        Execution policy. The default backend is the cover tree at
+        ``base`` (an ``execution.index`` spec overrides it). On the
+        default batched path seed queries route through the shared
+        engine seam: which seeds get queried depends on earlier balls
+        (visited members are skipped), so nothing is planned ahead and
+        the backend answers per point either way — the seam buys uniform
+        engine statistics and sharding. The algorithm itself visits each
+        seed at most once, so no query repeats on either path.
     batch_queries:
-        When True (default), seed queries route through the shared
-        engine seam (:class:`~repro.index.engine.NeighborhoodCache`).
-        Which seeds get queried depends on earlier balls (visited
-        members are skipped), so nothing is planned ahead and the
-        cover-tree backend answers per point either way: today the seam
-        only buys uniform engine statistics and becomes a real batch
-        path the day the cover tree grows a vectorized
-        ``batch_range_query``. The algorithm itself visits each seed at
-        most once, so no query repeats on either path.
+        Deprecated: folds into ``execution`` (a ``DeprecationWarning``)
+        and produces identical results.
     """
 
     def __init__(
@@ -78,30 +80,22 @@ class BlockDBSCAN(Clusterer):
         tau: int,
         base: float = 2.0,
         rnt: int = 10,
-        batch_queries: bool = True,
+        batch_queries: bool | None = None,
+        execution: ExecutionConfig | None = None,
     ) -> None:
-        super().__init__(eps, tau)
+        super().__init__(eps, tau, execution=execution)
+        self._resolve_legacy_execution(batch_queries=batch_queries)
         if rnt < 1:
             raise InvalidParameterError(f"rnt must be >= 1; got {rnt}")
         self.base = float(base)
         self.rnt = int(rnt)
-        self.batch_queries = bool(batch_queries)
+
+    def _default_index(self) -> CoverTree:
+        return CoverTree(base=self.base)
 
     def fit(self, X: np.ndarray) -> ClusteringResult:
         X = check_unit_norm(X)
         n = X.shape[0]
-        engine: NeighborhoodCache | None = None
-        if self.batch_queries:
-            # Unbuilt tree handed to the engine: built exactly once,
-            # shard-first when sharding is active (no discarded
-            # whole-dataset build).
-            engine = NeighborhoodCache(
-                CoverTree(base=self.base), X, self.eps, evict_on_fetch=True
-            )
-            fetch = engine.fetch
-        else:
-            tree = CoverTree(base=self.base).build(X)
-            fetch = lambda p: tree.range_query(X[p], self.eps)  # noqa: E731
         # Cosine threshold whose Euclidean equivalent is half the radius.
         half_eps_cos = self.eps / 4.0
         r_e = euclidean_from_cosine(self.eps)
@@ -112,7 +106,8 @@ class BlockDBSCAN(Clusterer):
         blocks: list[np.ndarray] = []
         n_range_queries = 0
 
-        try:
+        with self._engine(X) as engine:
+            fetch = engine.fetch
             for p in range(n):
                 if visited[p]:
                     continue
@@ -144,14 +139,7 @@ class BlockDBSCAN(Clusterer):
                 "n_core": int(core_mask.sum()),
                 "n_blocks": len(blocks),
             }
-            if engine is not None:
-                stats.update(engine.stats())
-        finally:
-            # Deterministic release even when a query raises mid-fit
-            # (an exception traceback would pin the engine, leaking a
-            # process executor's shared-memory segment until gc).
-            if engine is not None:
-                engine.close()
+            stats.update(engine.stats())
 
         labels = self._merge_and_assign(X, core_mask, unit_of_point, blocks, r_e)
         return ClusteringResult(

@@ -19,9 +19,8 @@ from repro.clustering.base import (
     canonicalize_labels,
 )
 from repro.distances.metric import COSINE, Metric
+from repro.engine_config import ExecutionConfig
 from repro.index.base import NeighborIndex
-from repro.index.brute_force import BruteForceIndex
-from repro.index.engine import NeighborhoodCache, fresh_engine_index
 
 __all__ = ["DBSCAN"]
 
@@ -39,18 +38,20 @@ class DBSCAN(Clusterer):
     tau:
         Minimum neighborhood size (including the point itself) for a
         core point — the paper's "minimum number of neighbors".
-    index_factory:
-        Builds the range-query index; ``None`` (default) uses exact brute
-        force in the chosen metric.
     metric:
         "cosine" (default) or "euclidean" — the future-work extension.
-    batch_queries:
-        When True (default), neighborhoods are computed through the
-        batched engine (:class:`~repro.index.engine.NeighborhoodCache`):
-        plain DBSCAN queries every point exactly once, so all ``n``
-        queries are planned up front and executed as blocked matrix
-        products instead of a per-point Python loop. The clustering is
-        identical either way; False keeps the per-point reference path.
+    execution:
+        Execution policy (:class:`~repro.engine_config.ExecutionConfig`):
+        backend spec (default exact brute force in the chosen metric),
+        sharding, batched-vs-per-point switch, engine block size, cache
+        eviction. On the default batched path plain DBSCAN plans all
+        ``n`` queries up front (every point is queried exactly once, in
+        the outer loop or at its dequeue) and executes them as blocked
+        matrix products; ``batch_queries=False`` keeps the per-point
+        reference loop. The clustering is identical either way.
+    index_factory, batch_queries:
+        Deprecated: both fold into ``execution`` (a
+        ``DeprecationWarning`` each) and produce identical results.
 
     Examples
     --------
@@ -67,46 +68,15 @@ class DBSCAN(Clusterer):
         tau: int,
         index_factory: Callable[[], NeighborIndex] | None = None,
         metric: str | Metric = COSINE,
-        batch_queries: bool = True,
+        batch_queries: bool | None = None,
+        execution: ExecutionConfig | None = None,
     ) -> None:
-        super().__init__(eps, tau, metric=metric)
-        self.index_factory = index_factory
-        self.batch_queries = bool(batch_queries)
-
-    def _make_index(self) -> NeighborIndex:
-        """The configured range-query backend, unbuilt."""
-        if self.index_factory is None:
-            return BruteForceIndex(metric=self.metric)
-        return self.index_factory()
-
-    def _build_index(self, X: np.ndarray) -> NeighborIndex:
-        return self._make_index().build(X)
+        super().__init__(eps, tau, metric=metric, execution=execution)
+        self._resolve_legacy_execution(index_factory, batch_queries)
 
     def fit(self, X: np.ndarray) -> ClusteringResult:
         X = self.metric.validate(X)
         n = X.shape[0]
-        engine: NeighborhoodCache | None = None
-        if self.batch_queries:
-            # Every point's range query executes exactly once (in the
-            # outer loop or at its dequeue), so the full visit order is a
-            # safe prefetch plan: nothing speculative is ever computed.
-            # Each point is fetched exactly once, so serve-and-release
-            # keeps resident memory to the prefetched-but-unserved tail.
-            # The index is handed over *unbuilt* (fresh_engine_index):
-            # the engine builds it exactly once — shard-first when
-            # sharding is active, so no whole-dataset index is
-            # constructed just to be discarded.
-            engine = NeighborhoodCache(
-                fresh_engine_index(self._make_index(), X),
-                X,
-                self.eps,
-                evict_on_fetch=True,
-            )
-            engine.plan(np.arange(n))
-            fetch = engine.fetch
-        else:
-            index = self._build_index(X)
-            fetch = lambda p: index.range_query(X[p], self.eps)  # noqa: E731
         labels = np.full(n, UNDEFINED, dtype=np.int64)
         core_mask = np.zeros(n, dtype=bool)
         # Queue dedup: enqueueing a point twice is a semantic no-op (its
@@ -115,7 +85,11 @@ class DBSCAN(Clusterer):
         n_range_queries = 0
         cluster_id = -1
 
-        try:
+        # Every point's range query executes exactly once (in the outer
+        # loop or at its dequeue), so the full visit order is a safe
+        # prefetch plan: nothing speculative is ever computed.
+        with self._engine(X, plan=np.arange(n)) as engine:
+            fetch = engine.fetch
             for p in range(n):
                 if labels[p] != UNDEFINED:
                     continue
@@ -148,15 +122,7 @@ class DBSCAN(Clusterer):
                         queue.extend(fresh.tolist())
 
             stats: dict[str, int | float] = {"range_queries": n_range_queries}
-            if engine is not None:
-                stats.update(engine.stats())
-        finally:
-            # Deterministic release even when a query raises mid-fit: an
-            # exception traceback pins this frame (and with it the
-            # engine), so waiting for refcount collection would leak a
-            # process executor's shared-memory segment until gc.
-            if engine is not None:
-                engine.close()
+            stats.update(engine.stats())
         return ClusteringResult(
             labels=canonicalize_labels(labels),
             core_mask=core_mask,

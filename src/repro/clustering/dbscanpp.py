@@ -23,8 +23,8 @@ from repro.clustering.base import (
 )
 from repro.clustering.components import connected_components_within
 from repro.distances import check_unit_norm, iter_distance_blocks
+from repro.engine_config import ExecutionConfig
 from repro.exceptions import InvalidParameterError
-from repro.index.brute_force import BruteForceIndex
 from repro.rng import ensure_rng
 
 __all__ = ["DBSCANPlusPlus"]
@@ -51,10 +51,15 @@ class DBSCANPlusPlus(Clusterer):
         point is absorbed by its closest core point.
     seed:
         Sampling seed.
-    batch_queries:
-        When True (default), the per-sample core test runs through the
-        index's blocked ``batch_range_count``; False keeps the per-point
+    execution:
+        Execution policy. On the default batched path the per-sample
+        core test runs through the engine's blocked ``count`` (the
+        index's ``batch_range_count`` kernel, sharded when a sharding
+        config is set); ``batch_queries=False`` keeps the per-point
         reference loop. Identical output either way.
+    batch_queries:
+        Deprecated: folds into ``execution`` (a ``DeprecationWarning``)
+        and produces identical results.
     """
 
     def __init__(
@@ -65,13 +70,13 @@ class DBSCANPlusPlus(Clusterer):
         init: str = "uniform",
         assign_within_eps: bool = True,
         seed: int | np.random.Generator | None = 0,
-        batch_queries: bool = True,
+        batch_queries: bool | None = None,
+        execution: ExecutionConfig | None = None,
     ) -> None:
-        super().__init__(eps, tau)
+        super().__init__(eps, tau, execution=execution)
+        self._resolve_legacy_execution(batch_queries=batch_queries)
         if not 0.0 < p <= 1.0:
-            raise InvalidParameterError(
-                f"sample fraction p must lie in (0, 1]; got {p}"
-            )
+            raise InvalidParameterError(f"sample fraction p must lie in (0, 1]; got {p}")
         if init not in _INIT_METHODS:
             raise InvalidParameterError(
                 f"init must be one of {_INIT_METHODS}; got {init!r}"
@@ -79,7 +84,6 @@ class DBSCANPlusPlus(Clusterer):
         self.p = float(p)
         self.init = init
         self.assign_within_eps = bool(assign_within_eps)
-        self.batch_queries = bool(batch_queries)
         self._rng = ensure_rng(seed)
 
     # ------------------------------------------------------------------
@@ -112,24 +116,21 @@ class DBSCANPlusPlus(Clusterer):
     def fit(self, X: np.ndarray) -> ClusteringResult:
         X = check_unit_norm(X)
         n = X.shape[0]
-        index = BruteForceIndex().build(X)
         sample = self._sample_indices(X)
 
-        # Core detection within the sample, counted against the full set.
-        if self.batch_queries:
-            counts = index.batch_range_count(X[sample], self.eps)
-        else:
-            counts = np.fromiter(
-                (index.range_count(X[s], self.eps) for s in sample),
-                dtype=np.int64,
-                count=sample.size,
-            )
+        # Core detection within the sample, counted against the full set
+        # (count-only: the engine's count surface never materializes or
+        # caches the neighbor lists).
+        with self._engine(X) as engine:
+            counts = engine.count(sample)
+            engine_stats = engine.stats()
         core_sample = sample[counts >= self.tau]
         stats = {
             "range_queries": int(sample.size),
             "sample_size": int(sample.size),
             "n_core": int(core_sample.size),
         }
+        stats.update(engine_stats)
         if core_sample.size == 0:
             return ClusteringResult(
                 labels=np.full(n, NOISE, dtype=np.int64),

@@ -61,6 +61,12 @@ class KNNBlockDBSCAN(Clusterer):
         ``tau``; larger values form larger blocks per query.
     seed:
         Seed for the k-means tree.
+    execution:
+        Accepted for interface parity (the registry facade passes one to
+        every clusterer). The method is defined on approximate *KNN*
+        queries over its own k-means tree — there is no range-query
+        engine to configure — so only the config's presence is honored;
+        backend/sharding/batching fields do not apply.
     """
 
     def __init__(
@@ -71,8 +77,9 @@ class KNNBlockDBSCAN(Clusterer):
         checks_ratio: float = 0.6,
         block_k: int = 4,
         seed: int | np.random.Generator | None = 0,
+        execution=None,
     ) -> None:
-        super().__init__(eps, tau)
+        super().__init__(eps, tau, execution=execution)
         if block_k < 1:
             raise InvalidParameterError(f"block_k must be >= 1; got {block_k}")
         self.branching = int(branching)
@@ -184,7 +191,5 @@ class KNNBlockDBSCAN(Clusterer):
                 nearest_dist = block[np.arange(block.shape[0]), nearest]
                 chunk = non_core[start:stop]
                 ok = nearest_dist < self.eps
-                labels[chunk[ok]] = [
-                    uf.find(int(core_units[j])) for j in nearest[ok]
-                ]
+                labels[chunk[ok]] = [uf.find(int(core_units[j])) for j in nearest[ok]]
         return labels

@@ -33,6 +33,7 @@ from repro.clustering.base import (
 )
 from repro.clustering.union_find import UnionFind
 from repro.distances import check_unit_norm, euclidean_from_cosine
+from repro.engine_config import ExecutionConfig
 from repro.exceptions import InvalidParameterError
 from repro.index.grid import GridIndex
 
@@ -50,21 +51,34 @@ class RhoApproxDBSCAN(Clusterer):
         Approximation factor (> 0). The paper sets 1.0 in its evaluation
         (after finding the 0.001-0.1 range of the original work too slow
         in high dimensions).
+    execution:
+        Execution policy. The method is *defined* on its grid, so the
+        grid always answers (an ``execution.index`` spec is ignored);
+        the grid-specific approximate counts stay direct, while the
+        exact border-attachment range queries route through the shared
+        engine over the already-built grid. On the default batched path
+        both run blockwise (the cell-center distance matrix is one
+        blocked product instead of a per-point loop);
+        ``batch_queries=False`` keeps the per-point reference loops.
+        Identical output either way.
     batch_queries:
-        When True (default), the rule-2 approximate counts and the
-        border attachment queries run through the grid's batched forms,
-        which compute the cell-center distance matrix blockwise instead
-        of per point. Identical output either way.
+        Deprecated: folds into ``execution`` (a ``DeprecationWarning``)
+        and produces identical results.
     """
 
     def __init__(
-        self, eps: float, tau: int, rho: float = 1.0, batch_queries: bool = True
+        self,
+        eps: float,
+        tau: int,
+        rho: float = 1.0,
+        batch_queries: bool | None = None,
+        execution: ExecutionConfig | None = None,
     ) -> None:
-        super().__init__(eps, tau)
+        super().__init__(eps, tau, execution=execution)
+        self._resolve_legacy_execution(batch_queries=batch_queries)
         if rho <= 0:
             raise InvalidParameterError(f"rho must be positive; got {rho}")
         self.rho = float(rho)
-        self.batch_queries = bool(batch_queries)
 
     def fit(self, X: np.ndarray) -> ClusteringResult:
         X = check_unit_norm(X)
@@ -79,11 +93,13 @@ class RhoApproxDBSCAN(Clusterer):
         sizes = grid.cell_sizes()
         for cell in np.flatnonzero(sizes >= self.tau):
             core_mask[grid.cell_points[cell]] = True
-        # Rule 2: everyone else gets an approximate count.
+        # Rule 2: everyone else gets an approximate count. The rho
+        # sandwich is a grid-level contract, so these stay direct grid
+        # calls on both execution paths.
         candidates = np.flatnonzero(~core_mask)
         n_count_queries += int(candidates.size)
         if candidates.size:
-            if self.batch_queries:
+            if self.execution.batch_queries:
                 counts = grid.batch_approx_range_count(X[candidates])
             else:
                 counts = np.fromiter(
@@ -99,16 +115,23 @@ class RhoApproxDBSCAN(Clusterer):
             for cell in range(grid.n_cells)
             if bool(core_mask[grid.cell_points[cell]].any())
         ]
-        if core_cells:
-            labels = self._merge_cells(X, grid, core_mask, core_cells, r_e, r_outer)
+        stats: dict[str, int | float] = {
+            "count_queries": n_count_queries,
+            "n_cells": grid.n_cells,
+        }
+        # The exact border queries are ordinary eps-range queries, so
+        # they run through the shared engine over the already-built grid.
+        with self._engine(X, prebuilt=grid) as engine:
+            if core_cells:
+                labels = self._merge_cells(
+                    X, grid, core_mask, core_cells, r_e, r_outer, engine
+                )
+            stats["n_core"] = int(core_mask.sum())
+            stats.update(engine.stats())
         return ClusteringResult(
             labels=canonicalize_labels(labels),
             core_mask=core_mask,
-            stats={
-                "count_queries": n_count_queries,
-                "n_cells": grid.n_cells,
-                "n_core": int(core_mask.sum()),
-            },
+            stats=stats,
         )
 
     def _merge_cells(
@@ -119,6 +142,7 @@ class RhoApproxDBSCAN(Clusterer):
         core_cells: list[int],
         r_e: float,
         r_outer: float,
+        engine,
     ) -> np.ndarray:
         n = X.shape[0]
         labels = np.full(n, NOISE, dtype=np.int64)
@@ -143,16 +167,15 @@ class RhoApproxDBSCAN(Clusterer):
         for cell in core_cells:
             cluster = uf.find(cell_rank[cell])
             labels[core_members[cell]] = cluster
-        # Borders: any core point within eps adopts the point.
+        # Borders: any core point within eps adopts the point. These are
+        # exact eps-range queries, served through the shared engine (each
+        # border point is fetched exactly once, so the whole set is a
+        # safe prefetch plan).
         border_candidates = np.flatnonzero(~core_mask)
         if border_candidates.size:
-            if self.batch_queries:
-                neighbor_lists = grid.batch_range_query(X[border_candidates])
-            else:
-                neighbor_lists = [
-                    grid.exact_range_query(X[p]) for p in border_candidates
-                ]
-            for p, neighbors in zip(border_candidates.tolist(), neighbor_lists):
+            engine.plan(border_candidates)
+            for p in border_candidates.tolist():
+                neighbors = engine.fetch(p)
                 core_neighbors = neighbors[core_mask[neighbors]]
                 if core_neighbors.size:
                     labels[p] = labels[core_neighbors[0]]

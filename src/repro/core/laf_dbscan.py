@@ -33,10 +33,9 @@ from repro.clustering.base import (
 )
 from repro.core.laf import LAF
 from repro.distances.metric import COSINE, Metric
+from repro.engine_config import ExecutionConfig
 from repro.estimators.base import CardinalityEstimator
 from repro.index.base import NeighborIndex
-from repro.index.brute_force import BruteForceIndex
-from repro.index.engine import NeighborhoodCache, fresh_engine_index
 
 __all__ = ["LAFDBSCAN"]
 
@@ -58,19 +57,22 @@ class LAFDBSCAN(Clusterer):
         Error factor of the gate (paper Table 1 values per dataset).
     enable_post_processing:
         Turn off only for the ablation study.
-    index_factory:
-        Range-query index (default exact brute force, as in the paper).
     seed:
         Seed for the post-processing destination choice.
-    batch_queries:
-        When True (default), the executed range queries go through the
-        batched engine: exactly the predicted-core points are planned
-        (each is queried once by Algorithm 1, no more, no fewer), so the
-        gate's savings are preserved while the surviving queries run as
-        blocked matrix products. ``UpdatePartialNeighbors`` still fires
-        per executed query at its Algorithm 1 line, so the map ``E`` —
-        and therefore post-processing — is identical to the per-point
-        path.
+    execution:
+        Execution policy (default backend: exact brute force, as in the
+        paper). On the default batched path the executed range queries
+        go through the batched engine: exactly the predicted-core points
+        are planned (each is queried once by Algorithm 1, no more, no
+        fewer), so the gate's savings are preserved while the surviving
+        queries run as blocked matrix products.
+        ``UpdatePartialNeighbors`` still fires per executed query at its
+        Algorithm 1 line, so the map ``E`` — and therefore
+        post-processing — is identical to the per-point path
+        (``batch_queries=False``).
+    index_factory, batch_queries:
+        Deprecated: both fold into ``execution`` (a
+        ``DeprecationWarning`` each) and produce identical results.
 
     Examples
     --------
@@ -93,52 +95,23 @@ class LAFDBSCAN(Clusterer):
         index_factory: Callable[[], NeighborIndex] | None = None,
         metric: str | Metric = COSINE,
         seed: int | np.random.Generator | None = 0,
-        batch_queries: bool = True,
+        batch_queries: bool | None = None,
+        execution: ExecutionConfig | None = None,
     ) -> None:
-        super().__init__(eps, tau, metric=metric)
+        super().__init__(eps, tau, metric=metric, execution=execution)
+        self._resolve_legacy_execution(index_factory, batch_queries)
         self.laf = LAF(
             estimator,
             alpha=alpha,
             enable_post_processing=enable_post_processing,
             seed=seed,
         )
-        self.index_factory = index_factory
-        self.batch_queries = bool(batch_queries)
-
-    def _make_index(self) -> NeighborIndex:
-        """The configured range-query backend, unbuilt."""
-        if self.index_factory is None:
-            return BruteForceIndex(metric=self.metric)
-        return self.index_factory()
-
-    def _build_index(self, X: np.ndarray) -> NeighborIndex:
-        return self._make_index().build(X)
 
     def fit(self, X: np.ndarray) -> ClusteringResult:
         X = self.metric.validate(X)
         n = X.shape[0]
         predicted_core = self.laf.begin_run(X, self.eps, self.tau)  # the CardEst gate
         E = self.laf.partial_neighbors
-
-        engine: NeighborhoodCache | None = None
-        if self.batch_queries:
-            # Algorithm 1 executes exactly one range query per
-            # predicted-core point, so those are the plan; predicted stop
-            # points are never planned and never computed, keeping the
-            # gate's skipped-query savings intact. The index is handed
-            # over *unbuilt* (fresh_engine_index): the engine builds it
-            # exactly once, shard-first when sharding is active.
-            engine = NeighborhoodCache(
-                fresh_engine_index(self._make_index(), X),
-                X,
-                self.eps,
-                evict_on_fetch=True,
-            )
-            engine.plan(np.flatnonzero(predicted_core))
-            fetch = engine.fetch
-        else:
-            index = self._build_index(X)
-            fetch = lambda p: index.range_query(X[p], self.eps)  # noqa: E731
 
         labels = np.full(n, UNDEFINED, dtype=np.int64)  # line 3
         core_mask = np.zeros(n, dtype=bool)
@@ -149,7 +122,12 @@ class LAFDBSCAN(Clusterer):
         n_skipped = 0
         cluster_id = -1
 
-        try:
+        # Algorithm 1 executes exactly one range query per
+        # predicted-core point, so those are the plan; predicted stop
+        # points are never planned and never computed, keeping the
+        # gate's skipped-query savings intact.
+        with self._engine(X, plan=np.flatnonzero(predicted_core)) as engine:
+            fetch = engine.fetch
             for p in range(n):  # line 4
                 if labels[p] != UNDEFINED:  # line 5
                     continue
@@ -191,13 +169,7 @@ class LAFDBSCAN(Clusterer):
                         E.register_stop_point(q)  # lines 26-27
                         n_skipped += 1
 
-            engine_stats = engine.stats() if engine is not None else {}
-        finally:
-            # Deterministic release even when a query raises mid-fit
-            # (an exception traceback would pin the engine, leaking a
-            # process executor's shared-memory segment until gc).
-            if engine is not None:
-                engine.close()
+            engine_stats = engine.stats()
 
         outcome = self.laf.finalize(labels, self.tau)  # line 28
         stats: dict[str, int | float] = {

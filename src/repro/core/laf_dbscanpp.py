@@ -27,12 +27,11 @@ from repro.clustering.base import (
     canonicalize_labels,
 )
 from repro.clustering.components import connected_components_within
-from repro.distances import check_unit_norm, iter_distance_blocks
 from repro.core.laf import LAF
+from repro.distances import check_unit_norm, iter_distance_blocks
+from repro.engine_config import ExecutionConfig
 from repro.estimators.base import CardinalityEstimator
 from repro.exceptions import InvalidParameterError
-from repro.index.brute_force import BruteForceIndex
-from repro.index.engine import NeighborhoodCache
 from repro.rng import ensure_rng
 
 __all__ = ["LAFDBSCANPlusPlus"]
@@ -56,15 +55,17 @@ class LAFDBSCANPlusPlus(Clusterer):
         Same border semantics switch as the DBSCAN++ baseline.
     seed:
         Sampling and post-processing seed.
+    execution:
+        Execution policy (default backend: exact brute force). On the
+        default batched path the range queries that survive the gate run
+        through the batched engine with the gated sample as the plan
+        (serve-and-release). Every gated sample point is queried exactly
+        once either way, and ``UpdatePartialNeighbors`` receives each
+        executed result in the same sample order, so the output is
+        identical to the per-point path (``batch_queries=False``).
     batch_queries:
-        When True (default), the range queries that survive the gate run
-        through the batched engine
-        (:class:`~repro.index.engine.NeighborhoodCache` with the gated
-        sample as the plan, serve-and-release). Every gated sample point
-        is queried exactly once either way, and
-        ``UpdatePartialNeighbors`` receives each executed result in the
-        same sample order, so the output is identical to the per-point
-        path.
+        Deprecated: folds into ``execution`` (a ``DeprecationWarning``)
+        and produces identical results.
     """
 
     def __init__(
@@ -77,16 +78,15 @@ class LAFDBSCANPlusPlus(Clusterer):
         enable_post_processing: bool = True,
         assign_within_eps: bool = True,
         seed: int | np.random.Generator | None = 0,
-        batch_queries: bool = True,
+        batch_queries: bool | None = None,
+        execution: ExecutionConfig | None = None,
     ) -> None:
-        super().__init__(eps, tau)
+        super().__init__(eps, tau, execution=execution)
+        self._resolve_legacy_execution(batch_queries=batch_queries)
         if not 0.0 < p <= 1.0:
-            raise InvalidParameterError(
-                f"sample fraction p must lie in (0, 1]; got {p}"
-            )
+            raise InvalidParameterError(f"sample fraction p must lie in (0, 1]; got {p}")
         self.p = float(p)
         self.assign_within_eps = bool(assign_within_eps)
-        self.batch_queries = bool(batch_queries)
         self._rng = ensure_rng(seed)
         self.laf = LAF(
             estimator,
@@ -109,38 +109,22 @@ class LAFDBSCANPlusPlus(Clusterer):
         skipped = sample[~predicted_core[sample]]
         for s in skipped.tolist():
             E.register_stop_point(s)
-        engine: NeighborhoodCache | None = None
-        if self.batch_queries:
-            # Every gated point is queried exactly once, in sample order,
-            # so the gated set is the plan; serve-and-release keeps only
-            # the prefetched tail of each block resident. The E.update
-            # feed below still runs per result in sample order, exactly
-            # as the per-point loop would. The index is handed over
-            # unbuilt: built once, shard-first when sharding is active.
-            engine = NeighborhoodCache(
-                BruteForceIndex(), X, self.eps, evict_on_fetch=True
-            )
-            engine.plan(gated)
-            fetch = engine.fetch
-        else:
-            index = BruteForceIndex().build(X)
-            fetch = lambda s: index.range_query(X[s], self.eps)  # noqa: E731
         core_list: list[int] = []
         n_range_queries = 0
-        try:
+        # Every gated point is queried exactly once, in sample order, so
+        # the gated set is the plan; serve-and-release keeps only the
+        # prefetched tail of each block resident. The E.update feed below
+        # still runs per result in sample order, exactly as the per-point
+        # loop would.
+        with self._engine(X, plan=gated) as engine:
+            fetch = engine.fetch
             for s in gated.tolist():
                 neighbors = fetch(s)
                 n_range_queries += 1
                 E.update(s, neighbors)
                 if neighbors.size >= self.tau:
                     core_list.append(s)
-            engine_stats = engine.stats() if engine is not None else {}
-        finally:
-            # Deterministic release even when a query raises mid-fit
-            # (an exception traceback would pin the engine, leaking a
-            # process executor's shared-memory segment until gc).
-            if engine is not None:
-                engine.close()
+            engine_stats = engine.stats()
         core_sample = np.array(core_list, dtype=np.int64)
 
         stats: dict[str, int | float] = {

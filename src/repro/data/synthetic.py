@@ -132,7 +132,8 @@ def make_ms_like(
     micro_centers = np.vstack(
         [
             normalize_rows(
-                macro[None, :] + macro_spread * uniform_sphere(micro_per_macro, dim, rng),
+                macro[None, :]
+                + macro_spread * uniform_sphere(micro_per_macro, dim, rng),
                 copy=False,
             )
             for macro in macro_dirs
@@ -222,7 +223,9 @@ def make_glove_like(
         )
         labels.append(np.full(int(size), cluster_id, dtype=np.int64))
     if n_noise:
-        background = global_weight * global_dir + 1.2 * uniform_sphere(n_noise, dim, rng)
+        background = global_weight * global_dir + 1.2 * uniform_sphere(
+            n_noise, dim, rng
+        )
         parts.append(normalize_rows(background, copy=False))
         labels.append(np.full(n_noise, NOISE_LABEL, dtype=np.int64))
     X = np.vstack(parts)

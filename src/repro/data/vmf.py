@@ -17,7 +17,9 @@ from repro.rng import ensure_rng
 __all__ = ["sample_vmf"]
 
 
-def _sample_cosines(dim: int, kappa: float, n: int, rng: np.random.Generator) -> np.ndarray:
+def _sample_cosines(
+    dim: int, kappa: float, n: int, rng: np.random.Generator
+) -> np.ndarray:
     """Wood's rejection sampler for the component along the mean direction."""
     b = (-2.0 * kappa + np.sqrt(4.0 * kappa**2 + (dim - 1.0) ** 2)) / (dim - 1.0)
     x0 = (1.0 - b) / (1.0 + b)

@@ -138,8 +138,12 @@ class MLPRegressor:
             raise NotFittedError("cannot clone from an unfitted network")
         self._weights = [w.copy() for w in other._weights]
         self._biases = [b.copy() for b in other._biases]
-        self._feature_mean = None if other._feature_mean is None else other._feature_mean.copy()
-        self._feature_std = None if other._feature_std is None else other._feature_std.copy()
+        self._feature_mean = (
+            None if other._feature_mean is None else other._feature_mean.copy()
+        )
+        self._feature_std = (
+            None if other._feature_std is None else other._feature_std.copy()
+        )
         self._fold_cache = None
         return self
 
@@ -170,7 +174,10 @@ class MLPRegressor:
         """
         if self._fold_cache is None:
             W0 = self._weights[0] / self._feature_std[:, None]
-            b0 = self._biases[0] - (self._feature_mean / self._feature_std) @ self._weights[0]
+            b0 = (
+                self._biases[0]
+                - (self._feature_mean / self._feature_std) @ self._weights[0]
+            )
             self._fold_cache = (W0, b0)
         return self._fold_cache
 

@@ -303,7 +303,9 @@ class RMICardinalityEstimator(CardinalityEstimator):
                 model = MLPRegressor(hidden_layers=hidden_layers)
                 model._feature_mean = data[prefix + "feature_mean"]
                 model._feature_std = data[prefix + "feature_std"]
-                model._weights = [data[prefix + f"W{i}"] for i in range(n_weight_layers)]
+                model._weights = [
+                    data[prefix + f"W{i}"] for i in range(n_weight_layers)
+                ]
                 model._biases = [data[prefix + f"b{i}"] for i in range(n_weight_layers)]
                 stage_models.append(model)
             estimator._models.append(stage_models)

@@ -30,9 +30,13 @@ class SamplingCardinalityEstimator(CardinalityEstimator):
         Sampling seed.
     """
 
-    def __init__(self, sample_size: int = 256, seed: int | np.random.Generator | None = 0) -> None:
+    def __init__(
+        self, sample_size: int = 256, seed: int | np.random.Generator | None = 0
+    ) -> None:
         if sample_size <= 0:
-            raise InvalidParameterError(f"sample_size must be positive; got {sample_size}")
+            raise InvalidParameterError(
+                f"sample_size must be positive; got {sample_size}"
+            )
         self.sample_size = int(sample_size)
         self._rng = ensure_rng(seed)
         self._sample: np.ndarray | None = None

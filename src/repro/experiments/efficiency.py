@@ -14,6 +14,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.clustering import DBSCAN, RhoApproxDBSCAN
+from repro.engine_config import ExecutionConfig
 from repro.estimators.base import CardinalityEstimator
 from repro.experiments.methods import APPROXIMATE_METHODS, MethodContext
 from repro.experiments.runner import RunRecord, run_method, run_suite
@@ -30,6 +31,7 @@ def timing_comparison(
     methods: Sequence[str] = ("DBSCAN", *APPROXIMATE_METHODS),
     delta: float = 0.2,
     seed: int = 0,
+    execution: ExecutionConfig | None = None,
 ) -> list[RunRecord]:
     """One Figure 1 panel / Figure 4: all methods timed per dataset."""
     records: list[RunRecord] = []
@@ -41,6 +43,7 @@ def timing_comparison(
             estimator=estimators.get(name),
             delta=delta,
             seed=seed,
+            execution=execution,
         )
         records.extend(run_suite(X, tuple(methods), ctx, dataset_name=name))
     return records

@@ -17,15 +17,10 @@ import dataclasses
 
 import numpy as np
 
-from repro.clustering import (
-    BlockDBSCAN,
-    Clusterer,
-    DBSCAN,
-    DBSCANPlusPlus,
-    KNNBlockDBSCAN,
-    RhoApproxDBSCAN,
-)
-from repro.core import LAFDBSCAN, LAFDBSCANPlusPlus, predicted_core_ratio
+from repro.api import make_clusterer
+from repro.clustering import Clusterer
+from repro.core import predicted_core_ratio
+from repro.engine_config import ExecutionConfig
 from repro.estimators.base import CardinalityEstimator
 from repro.exceptions import InvalidParameterError
 
@@ -67,6 +62,11 @@ class MethodContext:
     p_override:
         Fix the DBSCAN++ sample fraction explicitly instead of deriving
         it (used by the trade-off sweeps).
+    execution:
+        Optional :class:`~repro.engine_config.ExecutionConfig` threaded
+        into every method built from this context — the single switch
+        that shards / rewires a whole experiment run without touching
+        any global state.
     """
 
     eps: float
@@ -81,6 +81,7 @@ class MethodContext:
     rnt: int = 10
     rho: float = 1.0
     seed: int = 0
+    execution: ExecutionConfig | None = None
     _p_cache: float | None = dataclasses.field(default=None, repr=False)
 
     def sample_fraction(self, X: np.ndarray) -> float:
@@ -97,7 +98,9 @@ class MethodContext:
                     "deriving p = delta + R_c requires an estimator; "
                     "set p_override otherwise"
                 )
-            r_c = predicted_core_ratio(self.estimator, X, self.eps, self.tau, self.alpha)
+            r_c = predicted_core_ratio(
+                self.estimator, X, self.eps, self.tau, self.alpha
+            )
             self._p_cache = float(np.clip(self.delta + r_c, 0.01, 1.0))
         return self._p_cache
 
@@ -112,47 +115,64 @@ def method_names() -> tuple[str, ...]:
     return ALL_METHODS
 
 
+#: Paper method name -> (repro.api registry name, context-params fn).
+_METHODS = {
+    "DBSCAN": ("dbscan", lambda ctx, X: {}),
+    "DBSCAN++": (
+        "dbscan++",
+        lambda ctx, X: {"p": ctx.sample_fraction(X), "seed": ctx.seed},
+    ),
+    "LAF-DBSCAN": (
+        "laf-dbscan",
+        lambda ctx, X: {
+            "estimator": ctx._require_estimator("LAF-DBSCAN"),
+            "alpha": ctx.alpha,
+            "seed": ctx.seed,
+        },
+    ),
+    "LAF-DBSCAN++": (
+        "laf-dbscan++",
+        lambda ctx, X: {
+            "estimator": ctx._require_estimator("LAF-DBSCAN++"),
+            "p": ctx.sample_fraction(X),
+            "alpha": 1.0,  # fixed in the paper
+            "seed": ctx.seed,
+        },
+    ),
+    "KNN-BLOCK": (
+        "knn-block",
+        lambda ctx, X: {
+            "branching": ctx.branching,
+            "checks_ratio": ctx.checks_ratio,
+            "seed": ctx.seed,
+        },
+    ),
+    "BLOCK-DBSCAN": (
+        "block-dbscan",
+        lambda ctx, X: {"base": ctx.cover_base, "rnt": ctx.rnt},
+    ),
+    "RHO-APPROX": ("rho-approx", lambda ctx, X: {"rho": ctx.rho}),
+}
+
+
 def build_method(name: str, ctx: MethodContext, X: np.ndarray) -> Clusterer:
     """Instantiate the named method with the context's parameters.
 
-    ``X`` is needed only to derive the DBSCAN++ sample fraction; the
-    returned clusterer is not yet fitted.
+    Resolves through the :func:`repro.api.make_clusterer` registry,
+    threading ``ctx.execution`` into the clusterer. ``X`` is needed only
+    to derive the DBSCAN++ sample fraction; the returned clusterer is
+    not yet fitted.
     """
-    if name == "DBSCAN":
-        return DBSCAN(eps=ctx.eps, tau=ctx.tau)
-    if name == "DBSCAN++":
-        return DBSCANPlusPlus(
-            eps=ctx.eps, tau=ctx.tau, p=ctx.sample_fraction(X), seed=ctx.seed
+    entry = _METHODS.get(name)
+    if entry is None:
+        raise InvalidParameterError(
+            f"unknown method {name!r}; available: {', '.join(ALL_METHODS)}"
         )
-    if name == "LAF-DBSCAN":
-        return LAFDBSCAN(
-            eps=ctx.eps,
-            tau=ctx.tau,
-            estimator=ctx._require_estimator(name),
-            alpha=ctx.alpha,
-            seed=ctx.seed,
-        )
-    if name == "LAF-DBSCAN++":
-        return LAFDBSCANPlusPlus(
-            eps=ctx.eps,
-            tau=ctx.tau,
-            estimator=ctx._require_estimator(name),
-            p=ctx.sample_fraction(X),
-            alpha=1.0,  # fixed in the paper
-            seed=ctx.seed,
-        )
-    if name == "KNN-BLOCK":
-        return KNNBlockDBSCAN(
-            eps=ctx.eps,
-            tau=ctx.tau,
-            branching=ctx.branching,
-            checks_ratio=ctx.checks_ratio,
-            seed=ctx.seed,
-        )
-    if name == "BLOCK-DBSCAN":
-        return BlockDBSCAN(eps=ctx.eps, tau=ctx.tau, base=ctx.cover_base, rnt=ctx.rnt)
-    if name == "RHO-APPROX":
-        return RhoApproxDBSCAN(eps=ctx.eps, tau=ctx.tau, rho=ctx.rho)
-    raise InvalidParameterError(
-        f"unknown method {name!r}; available: {', '.join(ALL_METHODS)}"
+    registry_name, params = entry
+    return make_clusterer(
+        registry_name,
+        eps=ctx.eps,
+        tau=ctx.tau,
+        execution=ctx.execution,
+        **params(ctx, X),
     )

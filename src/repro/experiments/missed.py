@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core import LAFDBSCAN
+from repro.engine_config import ExecutionConfig
 from repro.estimators.base import CardinalityEstimator
 from repro.experiments.runner import ground_truth
 from repro.metrics.cluster_stats import MissedClusterStats, missed_cluster_stats
@@ -26,15 +27,21 @@ def missed_cluster_analysis(
     tau: int,
     alpha: float,
     seed: int = 0,
+    execution: ExecutionConfig | None = None,
 ) -> tuple[MissedClusterStats, dict[str, int | float]]:
     """Run LAF-DBSCAN and compare to DBSCAN ground truth (one Table 6 row).
 
     Returns the missed-cluster statistics plus the LAF run's counters
     (so the false-negative count of Section 3.3 is visible alongside).
     """
-    gt = ground_truth(X, eps, tau)
+    gt = ground_truth(X, eps, tau, execution=execution)
     result = LAFDBSCAN(
-        eps=eps, tau=tau, estimator=estimator, alpha=alpha, seed=seed
+        eps=eps,
+        tau=tau,
+        estimator=estimator,
+        alpha=alpha,
+        seed=seed,
+        execution=execution,
     ).fit(X)
     stats = missed_cluster_stats(gt.labels, result.labels)
     return stats, dict(result.stats)

@@ -15,6 +15,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.clustering.dbscan import DBSCAN
+from repro.engine_config import ExecutionConfig
 
 __all__ = ["GridCell", "parameter_grid", "select_representative", "PAPER_EPS_TAU"]
 
@@ -45,6 +46,7 @@ def parameter_grid(
     datasets: dict[str, np.ndarray],
     eps_values: Sequence[float] = (0.5, 0.55, 0.6, 0.7),
     tau_values: Sequence[int] = (3, 5),
+    execution: ExecutionConfig | None = None,
 ) -> list[GridCell]:
     """Run DBSCAN over the (eps, tau) grid on every dataset.
 
@@ -55,7 +57,7 @@ def parameter_grid(
     for eps in eps_values:
         for tau in tau_values:
             for name, X in datasets.items():
-                result = DBSCAN(eps=eps, tau=tau).fit(X)
+                result = DBSCAN(eps=eps, tau=tau, execution=execution).fit(X)
                 cells.append(
                     GridCell(
                         dataset=name,

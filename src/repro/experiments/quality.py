@@ -13,6 +13,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.engine_config import ExecutionConfig
 from repro.estimators.base import CardinalityEstimator
 from repro.experiments.methods import APPROXIMATE_METHODS, MethodContext
 from repro.experiments.runner import RunRecord, ground_truth, run_suite
@@ -39,6 +40,7 @@ def quality_comparison(
     methods: Sequence[str] = APPROXIMATE_METHODS,
     delta: float = 0.2,
     seed: int = 0,
+    execution: ExecutionConfig | None = None,
 ) -> list[RunRecord]:
     """Run the approximate-method suite on each dataset at one setting.
 
@@ -57,7 +59,7 @@ def quality_comparison(
     """
     records: list[RunRecord] = []
     for name, X in datasets.items():
-        gt = ground_truth(X, eps, tau)
+        gt = ground_truth(X, eps, tau, execution=execution)
         ctx = MethodContext(
             eps=eps,
             tau=tau,
@@ -65,6 +67,7 @@ def quality_comparison(
             estimator=estimators.get(name),
             delta=delta,
             seed=seed,
+            execution=execution,
         )
         records.extend(
             run_suite(

@@ -27,9 +27,7 @@ def format_table(
             widths[i] = max(widths[i], len(cell))
     line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
     rule = "-" * len(line)
-    body = [
-        "  ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in rows
-    ]
+    body = ["  ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in rows]
     parts = []
     if title:
         parts.extend([title, "=" * len(title)])
@@ -76,9 +74,7 @@ def pivot(
         if c not in col_order:
             col_order.append(c)
     headers = [row_key, *col_order]
-    rows = [
-        [r, *(table[r].get(c, "-") for c in col_order)] for r in table
-    ]
+    rows = [[r, *(table[r].get(c, "-") for c in col_order)] for r in table]
     return headers, rows
 
 

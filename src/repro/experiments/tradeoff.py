@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.clustering import BlockDBSCAN, DBSCANPlusPlus, KNNBlockDBSCAN
 from repro.core import LAFDBSCAN, LAFDBSCANPlusPlus, predicted_core_ratio
+from repro.engine_config import ExecutionConfig
 from repro.estimators.base import CardinalityEstimator
 from repro.experiments.runner import run_method
 from repro.metrics.ari import adjusted_rand_index
@@ -88,6 +89,7 @@ def sweep_laf_alpha(
     tau: int,
     alphas: Sequence[float] = DEFAULT_ALPHAS,
     seed: int = 0,
+    execution: ExecutionConfig | None = None,
 ) -> list[TradeoffPoint]:
     """LAF-DBSCAN trade-off: vary the error factor (paper: 1.1-15)."""
     return [
@@ -95,7 +97,14 @@ def sweep_laf_alpha(
             "LAF-DBSCAN",
             "alpha",
             alpha,
-            LAFDBSCAN(eps=eps, tau=tau, estimator=estimator, alpha=alpha, seed=seed),
+            LAFDBSCAN(
+                eps=eps,
+                tau=tau,
+                estimator=estimator,
+                alpha=alpha,
+                seed=seed,
+                execution=execution,
+            ),
             X,
             gt_labels,
         )
@@ -122,6 +131,7 @@ def sweep_dbscanpp(
     tau: int,
     deltas: Sequence[float] = DEFAULT_DELTAS,
     seed: int = 0,
+    execution: ExecutionConfig | None = None,
 ) -> list[TradeoffPoint]:
     """DBSCAN++ trade-off: vary the sample-fraction offset delta."""
     return [
@@ -130,7 +140,11 @@ def sweep_dbscanpp(
             "delta",
             delta,
             DBSCANPlusPlus(
-                eps=eps, tau=tau, p=_derive_p(X, estimator, eps, tau, delta), seed=seed
+                eps=eps,
+                tau=tau,
+                p=_derive_p(X, estimator, eps, tau, delta),
+                seed=seed,
+                execution=execution,
             ),
             X,
             gt_labels,
@@ -147,6 +161,7 @@ def sweep_laf_dbscanpp(
     tau: int,
     deltas: Sequence[float] = DEFAULT_DELTAS,
     seed: int = 0,
+    execution: ExecutionConfig | None = None,
 ) -> list[TradeoffPoint]:
     """LAF-DBSCAN++ trade-off: same delta sweep, alpha fixed at 1.0."""
     return [
@@ -161,6 +176,7 @@ def sweep_laf_dbscanpp(
                 p=_derive_p(X, estimator, eps, tau, delta),
                 alpha=1.0,
                 seed=seed,
+                execution=execution,
             ),
             X,
             gt_labels,
@@ -177,6 +193,7 @@ def sweep_knn_block(
     branchings: Sequence[int] = DEFAULT_BRANCHINGS,
     checks: Sequence[float] = DEFAULT_CHECKS,
     seed: int = 0,
+    execution: ExecutionConfig | None = None,
 ) -> list[TradeoffPoint]:
     """KNN-BLOCK trade-off: branching 3-20 x leaves ratio 0.001-0.3.
 
@@ -197,6 +214,7 @@ def sweep_knn_block(
                         branching=branching,
                         checks_ratio=ratio,
                         seed=seed,
+                        execution=execution,
                     ),
                     X,
                     gt_labels,
@@ -211,6 +229,7 @@ def sweep_block_dbscan(
     eps: float,
     tau: int,
     bases: Sequence[float] = DEFAULT_BASES,
+    execution: ExecutionConfig | None = None,
 ) -> list[TradeoffPoint]:
     """BLOCK-DBSCAN trade-off: cover-tree basis 1.1-5, RNT fixed at 10."""
     return [
@@ -218,7 +237,7 @@ def sweep_block_dbscan(
             "BLOCK-DBSCAN",
             "base",
             base,
-            BlockDBSCAN(eps=eps, tau=tau, base=base, rnt=10),
+            BlockDBSCAN(eps=eps, tau=tau, base=base, rnt=10, execution=execution),
             X,
             gt_labels,
         )

@@ -304,9 +304,7 @@ class CoverTree(NeighborIndex):
                 squared=True,
             )
             hits = child_d < r_sq
-            col_of_entry = np.repeat(
-                np.arange(children.size, dtype=np.int64), q_counts
-            )
+            col_of_entry = np.repeat(np.arange(children.size, dtype=np.int64), q_counts)
             if hits.any():
                 hit_qs.append(child_q_flat[hits])
                 hit_ps.append(self._np_point[children[col_of_entry[hits]]])

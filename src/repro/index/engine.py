@@ -39,7 +39,7 @@ import numpy as np
 
 from repro.exceptions import InvalidParameterError
 
-__all__ = ["NeighborhoodCache", "fresh_engine_index"]
+__all__ = ["NeighborhoodCache", "PerPointQueries", "fresh_engine_index"]
 
 
 def fresh_engine_index(index, X: np.ndarray):
@@ -49,15 +49,59 @@ def fresh_engine_index(index, X: np.ndarray):
     cache builds them exactly once, shard-first when sharding is active.
     A duck-typed index without the seam keeps its legacy contract and is
     built here over ``X`` (the cache then only queries it). This is the
-    one place the hand-over policy lives; every clusterer with an
-    ``index_factory`` routes through it.
+    one place the hand-over policy lives;
+    :meth:`repro.clustering.base.Clusterer._engine` routes every
+    clusterer's backend through it.
     """
     if getattr(index, "is_built", None) is None:
         return index.build(X)
     return index
 
+
 #: Default number of queries computed per batched index call.
 DEFAULT_QUERY_BLOCK = 1024
+
+
+class PerPointQueries:
+    """Per-point reference engine behind the :class:`NeighborhoodCache`
+    surface.
+
+    The ``batch_queries=False`` escape hatch of every clusterer: same
+    ``plan`` / ``fetch`` / ``count`` / ``stats`` interface as the cache,
+    but every query executes as one scalar index call at its algorithmic
+    position — the reference path the differential harness diffs the
+    batched engine against. ``plan`` is a no-op (there is nothing to
+    prefetch) and ``stats`` is empty (no engine ran).
+    """
+
+    def __init__(self, index, X: np.ndarray, eps: float) -> None:
+        self._index = index
+        self._X = np.asarray(X, dtype=np.float64)
+        self.eps = float(eps)
+
+    def plan(self, indices) -> None:
+        """Accepted for interface parity; per-point execution never
+        prefetches."""
+
+    def fetch(self, point: int) -> np.ndarray:
+        """The eps-neighborhood of dataset row ``point`` (one scalar call)."""
+        return self._index.range_query(self._X[int(point)], self.eps)
+
+    def count(self, indices) -> np.ndarray:
+        """Range counts of dataset rows, one scalar call per row."""
+        ids = np.asarray(indices, dtype=np.int64)
+        return np.fromiter(
+            (self._index.range_count(self._X[i], self.eps) for i in ids),
+            dtype=np.int64,
+            count=ids.size,
+        )
+
+    def close(self) -> None:
+        """Nothing to release: the host built and owns the index."""
+
+    def stats(self) -> dict[str, int]:
+        """No engine counters: nothing batched, nothing cached."""
+        return {}
 
 
 class NeighborhoodCache:
@@ -84,9 +128,12 @@ class NeighborhoodCache:
         per-point path (useful for differential testing).
     sharding:
         Optional :class:`~repro.index.sharded.ShardingConfig` for this
-        cache. When omitted, the process-wide configuration installed by
-        :func:`~repro.index.sharded.set_sharding` /
-        :func:`~repro.index.sharded.sharded_queries` applies. When a
+        cache — normally threaded in from
+        :attr:`~repro.engine_config.ExecutionConfig.sharding`. When
+        omitted, the *thread-local* configuration installed by the
+        deprecated :func:`~repro.index.sharded.sharded_queries` shim
+        applies (None when no shim is active); ``False`` disables
+        sharding outright, shim or not. When a
         configuration is active and ``index`` is a recognised backend,
         the cache routes through a
         :class:`~repro.index.sharded.ShardedIndex` — built directly from
@@ -130,9 +177,7 @@ class NeighborhoodCache:
         # prompt release when the cache goes out of scope at the end of
         # a fit (the executor's weakref.finalize fires on refcount
         # collection).
-        self._index, self._owns_index = resolve_engine_index(
-            index, self._X, sharding
-        )
+        self._index, self._owns_index = resolve_engine_index(index, self._X, sharding)
         self.eps = float(eps)
         self.block_size = int(block_size)
         self.evict_on_fetch = bool(evict_on_fetch)
@@ -188,6 +233,23 @@ class NeighborhoodCache:
     def is_cached(self, point: int) -> bool:
         """Whether ``point``'s neighborhood is already computed."""
         return bool(self._cached[point])
+
+    def count(self, indices) -> np.ndarray:
+        """Batched range counts of dataset rows (uncached).
+
+        Routes through the index's ``batch_range_count`` kernel — which
+        never materializes neighbor lists on backends that can count
+        directly — and therefore bypasses the neighborhood cache: hosts
+        use it for count-only phases (DBSCAN++'s core test), where
+        caching would only cost memory. Sharded indexes sum per-shard
+        counts, so sharding applies here exactly as it does to ``fetch``.
+        """
+        ids = np.asarray(indices, dtype=np.int64)
+        counter = getattr(self._index, "batch_range_count", None)
+        if counter is None:
+            rows = self._index.batch_range_query(self._X[ids], self.eps)
+            return np.array([len(row) for row in rows], dtype=np.int64)
+        return np.asarray(counter(self._X[ids], self.eps), dtype=np.int64)
 
     def _fill_block(self, point: int) -> None:
         batch = [point]

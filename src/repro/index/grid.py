@@ -224,6 +224,21 @@ class GridIndex:
         center_dists = euclidean_distance_to_many(q, self._cell_centers)
         return self._exact_query_row(q, center_dists, eps_cos, r)
 
+    def range_query(self, q: np.ndarray, eps: float | None = None) -> np.ndarray:
+        """Alias of :meth:`exact_range_query` (NeighborIndex-shaped
+        surface, so the grid slots behind the shared engine seam)."""
+        return self.exact_range_query(q, eps)
+
+    def range_count(self, q: np.ndarray, eps: float | None = None) -> int:
+        """Exact neighbor count (NeighborIndex-shaped surface)."""
+        return int(self.exact_range_query(q, eps).size)
+
+    def batch_range_count(self, Q: np.ndarray, eps: float | None = None) -> np.ndarray:
+        """Exact neighbor counts for every row of ``Q``."""
+        return np.array(
+            [row.size for row in self.batch_range_query(Q, eps)], dtype=np.int64
+        )
+
     def batch_range_query(
         self, Q: np.ndarray, eps: float | None = None
     ) -> list[np.ndarray]:

@@ -39,13 +39,15 @@ and deduplication can never actually drop anything — the kernels still
 enforce both properties so they hold for arbitrary (even overlapping)
 splits, which is what the property-based tests exercise.
 
-The module also hosts the engine-level sharding configuration:
-:func:`set_sharding` / :func:`sharded_queries` install a
-:class:`ShardingConfig` that :class:`~repro.index.engine.NeighborhoodCache`
-consults at construction time, transparently wrapping any recognised
-single index into a :class:`ShardedIndex` — every clusterer that routes
-neighborhoods through the engine gains sharding with zero changes to its
-code.
+The module also hosts :class:`ShardingConfig`, the declarative sharding
+spec that :class:`~repro.engine_config.ExecutionConfig` embeds and
+threads explicitly into :class:`~repro.index.engine.NeighborhoodCache` /
+:func:`resolve_engine_index` — the first-class way to shard a fit. The
+legacy :func:`set_sharding` / :func:`sharded_queries` entry points
+survive as *thread-local* deprecation shims: they still scope an ambient
+configuration for code that has not migrated, but the state lives in a
+``threading.local`` so two threads fitting concurrently with different
+configurations can no longer corrupt each other.
 
 Exactness: range queries and counts are exact for exact inner backends
 (a point's eps-neighborhood is the disjoint union of its per-shard
@@ -64,6 +66,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import warnings
 import weakref
 from collections.abc import Sequence
@@ -969,27 +972,52 @@ class ShardingConfig:
         )
 
 
-_ACTIVE_SHARDING: ShardingConfig | None = None
+# Thread-local home of the legacy ambient configuration. There is no
+# module-level mutable config anymore: the first-class path threads a
+# ShardingConfig explicitly (ExecutionConfig -> NeighborhoodCache), and
+# the deprecation shims below scope per-thread state only.
+_SHARDING_STATE = threading.local()
 
 
-def set_sharding(config: ShardingConfig | None) -> ShardingConfig | None:
-    """Install (or clear, with None) the process-wide sharding config.
-
-    Returns the previous configuration so callers can restore it.
-    """
-    global _ACTIVE_SHARDING
+def _install_sharding(config: ShardingConfig | None) -> ShardingConfig | None:
+    """Swap this thread's ambient config; returns the previous one."""
     if config is not None and not isinstance(config, ShardingConfig):
         raise InvalidParameterError(
             f"config must be a ShardingConfig or None; got {type(config).__name__}"
         )
-    previous = _ACTIVE_SHARDING
-    _ACTIVE_SHARDING = config
+    previous = getattr(_SHARDING_STATE, "config", None)
+    _SHARDING_STATE.config = config
     return previous
 
 
+def set_sharding(config: ShardingConfig | None) -> ShardingConfig | None:
+    """Deprecated: install (or clear, with None) this thread's config.
+
+    .. deprecated::
+        Pass an :class:`~repro.engine_config.ExecutionConfig` with a
+        ``sharding=ShardingConfig(...)`` to the clusterer (or to
+        :func:`repro.cluster`) instead. The shim scopes *thread-local*
+        state — concurrent fits in other threads are unaffected.
+
+    Returns the previous configuration so callers can restore it.
+    """
+    warnings.warn(
+        "set_sharding() is deprecated; pass "
+        "ExecutionConfig(sharding=ShardingConfig(...)) to the clusterer "
+        "instead (the shim now scopes thread-local state only)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _install_sharding(config)
+
+
 def sharding_config() -> ShardingConfig | None:
-    """The active engine sharding configuration (None when disabled)."""
-    return _ACTIVE_SHARDING
+    """This thread's ambient sharding configuration (None when unset).
+
+    Only the deprecation shims install one; execution configured through
+    :class:`~repro.engine_config.ExecutionConfig` never touches it.
+    """
+    return getattr(_SHARDING_STATE, "config", None)
 
 
 @contextmanager
@@ -1001,12 +1029,25 @@ def sharded_queries(
     n_workers: int | None = None,
     query_block: int = DEFAULT_QUERY_BLOCK,
 ):
-    """Scope an engine sharding configuration to a ``with`` block.
+    """Deprecated: scope a thread-local sharding config to a ``with`` block.
+
+    .. deprecated::
+        Pass an :class:`~repro.engine_config.ExecutionConfig` with a
+        ``sharding=ShardingConfig(...)`` to the clusterer (or to
+        :func:`repro.cluster`) instead.
 
     Pass a prebuilt :class:`ShardingConfig`, or the keyword fields of
     one. The previous configuration is restored on exit even when the
-    body raises.
+    body raises. The state is thread-local: fits running in other
+    threads (with their own ``ExecutionConfig``) are unaffected.
     """
+    warnings.warn(
+        "sharded_queries() is deprecated; pass "
+        "ExecutionConfig(sharding=ShardingConfig(...)) to the clusterer "
+        "instead (the shim now scopes thread-local state only)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
     if config is None:
         config = ShardingConfig(
             n_shards=n_shards,
@@ -1014,11 +1055,11 @@ def sharded_queries(
             n_workers=n_workers,
             query_block=query_block,
         )
-    previous = set_sharding(config)
+    previous = _install_sharding(config)
     try:
         yield config
     finally:
-        set_sharding(previous)
+        _install_sharding(previous)
 
 
 def maybe_shard(index, config: ShardingConfig | None = None):
@@ -1037,9 +1078,16 @@ def maybe_shard(index, config: ShardingConfig | None = None):
     index whose points are unavailable — not built yet, or a subclass
     that dropped the public ``points`` property — is returned unsharded
     with a :class:`RuntimeWarning` naming the reason, never silently.
+
+    ``config`` follows the :class:`~repro.engine_config.ExecutionConfig`
+    convention: None means *unset* (fall back to the thread-local shim
+    scope, if any) and ``False`` means *explicitly disabled* (never
+    shard, shim or not).
     """
     if config is None:
         config = sharding_config()
+    elif config is False:
+        config = None
     if config is None or isinstance(index, ShardedIndex):
         return index
     spec = backend_spec_of(index)
@@ -1097,13 +1145,20 @@ def resolve_engine_index(index, X: np.ndarray, config: ShardingConfig | None = N
     *built* the result — including the in-place build of an unbuilt
     object the host handed over — and the host should treat it as the
     engine's to ``close()``; only a fitted index passed through
-    untouched stays the caller's (``owned`` False).
+    untouched stays the caller's (``owned`` False). ``config`` is a
+    :class:`ShardingConfig`, None (unset: the thread-local shim scope
+    applies, if any) or ``False`` (explicitly disabled).
     """
     if config is None:
         config = sharding_config()
+    elif config is False:
+        config = None
     built = getattr(index, "is_built", None)
     if built is None or built:
-        wrapped = maybe_shard(index, config)
+        # config is fully resolved here; hand maybe_shard the explicit
+        # disabled marker instead of None, which would re-consult the
+        # thread-local shim scope.
+        wrapped = maybe_shard(index, config if config is not None else False)
         return wrapped, wrapped is not index
     if isinstance(index, ShardedIndex):
         return index.build(X), True

@@ -94,7 +94,9 @@ def make_blobs_on_sphere(
     centers = normalize_rows(rng.normal(size=(n_clusters, dim)))
     parts, labels = [], []
     for c, center in enumerate(centers):
-        pts = center[None, :] + spread * rng.normal(size=(n_per_cluster, dim)) / np.sqrt(dim)
+        pts = center[None, :] + spread * rng.normal(
+            size=(n_per_cluster, dim)
+        ) / np.sqrt(dim)
         parts.append(normalize_rows(pts))
         labels.append(np.full(n_per_cluster, c))
     X = np.vstack(parts)

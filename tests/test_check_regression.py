@@ -47,9 +47,10 @@ class TestGateVerdicts:
         baselines, out = dirs
         write_rows(baselines, "bench.json", [BASE_ROW])
         write_rows(out, "bench.json", [BASE_ROW])
-        assert check_regression.main([
-            "--baselines", str(baselines), "--out", str(out)
-        ]) == 0
+        assert (
+            check_regression.main(["--baselines", str(baselines), "--out", str(out)])
+            == 0
+        )
 
     def test_synthetic_25_percent_slowdown_fails(self, dirs):
         # A batched path 25% slower than baseline at fixed scalar time
@@ -59,17 +60,19 @@ class TestGateVerdicts:
         baselines, out = dirs
         write_rows(baselines, "bench.json", [BASE_ROW])
         write_rows(out, "bench.json", [dict(BASE_ROW, query_speedup=4.0 / 1.4)])
-        assert check_regression.main([
-            "--baselines", str(baselines), "--out", str(out)
-        ]) == 1
+        assert (
+            check_regression.main(["--baselines", str(baselines), "--out", str(out)])
+            == 1
+        )
 
     def test_drop_within_threshold_passes(self, dirs):
         baselines, out = dirs
         write_rows(baselines, "bench.json", [BASE_ROW])
         write_rows(out, "bench.json", [dict(BASE_ROW, query_speedup=3.1)])
-        assert check_regression.main([
-            "--baselines", str(baselines), "--out", str(out)
-        ]) == 0
+        assert (
+            check_regression.main(["--baselines", str(baselines), "--out", str(out)])
+            == 0
+        )
 
     def test_threshold_is_configurable(self, dirs):
         baselines, out = dirs
@@ -83,18 +86,20 @@ class TestGateVerdicts:
         baselines, out = dirs
         write_rows(baselines, "bench.json", [BASE_ROW])
         write_rows(out, "bench.json", [dict(BASE_ROW, query_speedup=9.0)])
-        assert check_regression.main([
-            "--baselines", str(baselines), "--out", str(out)
-        ]) == 0
+        assert (
+            check_regression.main(["--baselines", str(baselines), "--out", str(out)])
+            == 0
+        )
 
     def test_untracked_timings_are_ignored(self, dirs):
         # Absolute seconds vary across runners; only *_speedup gates.
         baselines, out = dirs
         write_rows(baselines, "bench.json", [BASE_ROW])
         write_rows(out, "bench.json", [dict(BASE_ROW, scalar_query_s=60.0)])
-        assert check_regression.main([
-            "--baselines", str(baselines), "--out", str(out)
-        ]) == 0
+        assert (
+            check_regression.main(["--baselines", str(baselines), "--out", str(out)])
+            == 0
+        )
 
 
 class TestCpuAwareSkips:
@@ -109,9 +114,10 @@ class TestCpuAwareSkips:
         write_rows(
             out, "bench.json", [dict(self.CPU_ROW, usable_cpus=1, query_speedup=0.9)]
         )
-        assert check_regression.main([
-            "--baselines", str(baselines), "--out", str(out)
-        ]) == 0
+        assert (
+            check_regression.main(["--baselines", str(baselines), "--out", str(out)])
+            == 0
+        )
 
     def test_equal_or_more_cpus_still_gates(self, dirs):
         baselines, out = dirs
@@ -119,9 +125,10 @@ class TestCpuAwareSkips:
         write_rows(
             out, "bench.json", [dict(self.CPU_ROW, usable_cpus=8, query_speedup=0.9)]
         )
-        assert check_regression.main([
-            "--baselines", str(baselines), "--out", str(out)
-        ]) == 1
+        assert (
+            check_regression.main(["--baselines", str(baselines), "--out", str(out)])
+            == 1
+        )
 
     def test_baseline_without_cpu_field_gates_normally(self, dirs):
         baselines, out = dirs
@@ -129,9 +136,10 @@ class TestCpuAwareSkips:
         write_rows(
             out, "bench.json", [dict(BASE_ROW, usable_cpus=1, query_speedup=0.9)]
         )
-        assert check_regression.main([
-            "--baselines", str(baselines), "--out", str(out)
-        ]) == 1
+        assert (
+            check_regression.main(["--baselines", str(baselines), "--out", str(out)])
+            == 1
+        )
 
     def test_fewer_cpus_does_not_excuse_a_missing_row(self, dirs):
         # The skip is about incomparable ratios, not absent benchmarks:
@@ -139,9 +147,10 @@ class TestCpuAwareSkips:
         baselines, out = dirs
         write_rows(baselines, "bench.json", [self.CPU_ROW])
         write_rows(out, "bench.json", [dict(self.CPU_ROW, n=123, usable_cpus=1)])
-        assert check_regression.main([
-            "--baselines", str(baselines), "--out", str(out)
-        ]) == 1
+        assert (
+            check_regression.main(["--baselines", str(baselines), "--out", str(out)])
+            == 1
+        )
 
 
 class TestGateRobustness:
@@ -149,51 +158,57 @@ class TestGateRobustness:
         baselines, out = dirs
         write_rows(baselines, "bench.json", [BASE_ROW])
         out.mkdir()
-        assert check_regression.main([
-            "--baselines", str(baselines), "--out", str(out)
-        ]) == 1
+        assert (
+            check_regression.main(["--baselines", str(baselines), "--out", str(out)])
+            == 1
+        )
 
     def test_missing_fresh_row_fails(self, dirs):
         baselines, out = dirs
         write_rows(baselines, "bench.json", [BASE_ROW])
         write_rows(out, "bench.json", [dict(BASE_ROW, n=2000)])
-        assert check_regression.main([
-            "--baselines", str(baselines), "--out", str(out)
-        ]) == 1
+        assert (
+            check_regression.main(["--baselines", str(baselines), "--out", str(out)])
+            == 1
+        )
 
     def test_extra_fresh_rows_do_not_fail(self, dirs):
         baselines, out = dirs
         write_rows(baselines, "bench.json", [BASE_ROW])
         write_rows(out, "bench.json", [BASE_ROW, dict(BASE_ROW, n=16000)])
-        assert check_regression.main([
-            "--baselines", str(baselines), "--out", str(out)
-        ]) == 0
+        assert (
+            check_regression.main(["--baselines", str(baselines), "--out", str(out)])
+            == 0
+        )
 
     def test_rows_matched_by_identity_not_position(self, dirs):
         baselines, out = dirs
         row_a = dict(BASE_ROW, n=2000, query_speedup=8.0)
         write_rows(baselines, "bench.json", [row_a, BASE_ROW])
         write_rows(out, "bench.json", [BASE_ROW, row_a])
-        assert check_regression.main([
-            "--baselines", str(baselines), "--out", str(out)
-        ]) == 0
+        assert (
+            check_regression.main(["--baselines", str(baselines), "--out", str(out)])
+            == 0
+        )
 
     def test_truncated_fresh_json_fails_cleanly(self, dirs):
         baselines, out = dirs
         write_rows(baselines, "bench.json", [BASE_ROW])
         out.mkdir()
         (out / "bench.json").write_text('{"rows": [{"n": 8000, "query_')
-        assert check_regression.main([
-            "--baselines", str(baselines), "--out", str(out)
-        ]) == 1
+        assert (
+            check_regression.main(["--baselines", str(baselines), "--out", str(out)])
+            == 1
+        )
 
     def test_empty_baselines_dir_fails(self, dirs):
         baselines, out = dirs
         baselines.mkdir()
         out.mkdir()
-        assert check_regression.main([
-            "--baselines", str(baselines), "--out", str(out)
-        ]) == 1
+        assert (
+            check_regression.main(["--baselines", str(baselines), "--out", str(out)])
+            == 1
+        )
 
 
 class TestAtomicSaveJson:

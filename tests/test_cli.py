@@ -36,8 +36,17 @@ class TestParser:
 
     def test_sharding_flags(self):
         args = build_parser().parse_args(
-            ["timing", "--shards", "4", "--shard-executor", "process",
-             "--shard-workers", "2", "--shard-query-block", "512"]
+            [
+                "timing",
+                "--shards",
+                "4",
+                "--shard-executor",
+                "process",
+                "--shard-workers",
+                "2",
+                "--shard-query-block",
+                "512",
+            ]
         )
         assert args.shards == 4
         assert args.shard_executor == "process"
@@ -57,6 +66,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["timing", "--shard-executor", "gpu"])
 
+    def test_per_point_with_shards_is_a_usage_error(self, capsys):
+        # The flags map into one ExecutionConfig, whose validation
+        # rejects the contradiction as a clean usage error (exit 2).
+        with pytest.raises(SystemExit) as excinfo:
+            main(["timing", "--per-point", "--shards", "2"])
+        assert excinfo.value.code == 2
+        assert "batched engine" in capsys.readouterr().err
+
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["optimize"])
@@ -64,8 +81,10 @@ class TestParser:
 
 class TestCommands:
     def test_grid(self, capsys):
-        code = main(["grid", "--datasets", "MS-50k", *FAST,
-                     "--eps-values", "0.5", "--tau-values", "3"])
+        code = main(
+            ["grid", "--datasets", "MS-50k", *FAST, "--eps-values", "0.5"]
+            + ["--tau-values", "3"]
+        )
         assert code == 0
         out = capsys.readouterr().out
         assert "(noise ratio, #clusters)" in out
@@ -106,9 +125,11 @@ class TestCommands:
     def test_grid_with_engine_sharding(self, capsys):
         from repro.index import sharding_config
 
-        code = main(["grid", "--datasets", "MS-50k", *FAST,
-                     "--eps-values", "0.5", "--tau-values", "3",
-                     "--shards", "3", "--shard-executor", "thread"])
+        code = main(
+            ["grid", "--datasets", "MS-50k", *FAST]
+            + ["--eps-values", "0.5", "--tau-values", "3"]
+            + ["--shards", "3", "--shard-executor", "thread"]
+        )
         assert code == 0
         out = capsys.readouterr().out
         assert "(noise ratio, #clusters)" in out

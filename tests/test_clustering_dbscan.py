@@ -7,8 +7,9 @@ from hypothesis import strategies as st
 
 from repro.clustering import DBSCAN
 from repro.distances import normalize_rows
+from repro.engine_config import ExecutionConfig, IndexSpec
 from repro.exceptions import DataValidationError
-from repro.index import BruteForceIndex, CoverTree
+from repro.index import BruteForceIndex
 from repro.metrics import adjusted_rand_index
 
 from repro.testing import canonical, reference_dbscan
@@ -115,10 +116,14 @@ class TestBehaviour:
 
     def test_cover_tree_index_gives_same_result(self, clusterable_data):
         brute = DBSCAN(eps=0.5, tau=5).fit(clusterable_data)
-        tree = DBSCAN(eps=0.5, tau=5, index_factory=CoverTree).fit(clusterable_data)
+        tree = DBSCAN(
+            eps=0.5,
+            tau=5,
+            execution=ExecutionConfig(index=IndexSpec("cover_tree")),
+        ).fit(clusterable_data)
         assert np.array_equal(brute.labels, tree.labels)
 
-    def test_duck_typed_index_factory_without_is_built_seam(self, clusterable_data):
+    def test_duck_typed_custom_index_without_is_built_seam(self, clusterable_data):
         """A custom factory exposing only build()/queries keeps working.
 
         Such an index has no ``is_built`` property, so the clusterer
@@ -154,7 +159,11 @@ class TestBehaviour:
             return index
 
         brute = DBSCAN(eps=0.5, tau=5).fit(clusterable_data)
-        duck = DBSCAN(eps=0.5, tau=5, index_factory=factory).fit(clusterable_data)
+        duck = DBSCAN(
+            eps=0.5,
+            tau=5,
+            execution=ExecutionConfig(index=IndexSpec.custom(factory)),
+        ).fit(clusterable_data)
         assert np.array_equal(brute.labels, duck.labels)
         assert [d.n_builds for d in made] == [1]
 

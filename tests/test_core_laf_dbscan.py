@@ -109,9 +109,9 @@ class TestWithImperfectEstimator:
 
     def test_postprocessing_never_hurts_much(self, setup):
         X, estimator, gt = setup
-        with_pp = LAFDBSCAN(
-            eps=0.5, tau=5, estimator=estimator, alpha=1.5, seed=0
-        ).fit(X)
+        with_pp = LAFDBSCAN(eps=0.5, tau=5, estimator=estimator, alpha=1.5, seed=0).fit(
+            X
+        )
         without_pp = LAFDBSCAN(
             eps=0.5,
             tau=5,

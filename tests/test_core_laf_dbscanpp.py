@@ -68,9 +68,9 @@ class TestWithImperfectEstimator:
     def test_runs_and_scores_reasonably(self):
         X, y = make_blobs_on_sphere(50, 3, 24, spread=0.25, seed=2)
         estimator = SamplingCardinalityEstimator(sample_size=30, seed=0).fit(X)
-        laf = LAFDBSCANPlusPlus(
-            eps=0.5, tau=4, estimator=estimator, p=0.5, seed=0
-        ).fit(X)
+        laf = LAFDBSCANPlusPlus(eps=0.5, tau=4, estimator=estimator, p=0.5, seed=0).fit(
+            X
+        )
         assert adjusted_rand_index(y, laf.labels) > 0.5
 
     def test_no_core_detected_all_noise(self, unit_vectors_small):
@@ -88,12 +88,12 @@ class TestWithImperfectEstimator:
         estimator = SamplingCardinalityEstimator(sample_size=40, seed=1).fit(
             clusterable_data
         )
-        a = LAFDBSCANPlusPlus(
-            eps=0.5, tau=5, estimator=estimator, p=0.4, seed=4
-        ).fit(clusterable_data)
-        b = LAFDBSCANPlusPlus(
-            eps=0.5, tau=5, estimator=estimator, p=0.4, seed=4
-        ).fit(clusterable_data)
+        a = LAFDBSCANPlusPlus(eps=0.5, tau=5, estimator=estimator, p=0.4, seed=4).fit(
+            clusterable_data
+        )
+        b = LAFDBSCANPlusPlus(eps=0.5, tau=5, estimator=estimator, p=0.4, seed=4).fit(
+            clusterable_data
+        )
         assert np.array_equal(a.labels, b.labels)
 
     def test_stats_complete(self, clusterable_data):

@@ -14,7 +14,9 @@ class TestUniformSphere:
         assert np.allclose(np.linalg.norm(X, axis=1), 1.0)
 
     def test_deterministic(self):
-        assert np.array_equal(uniform_sphere(10, 4, seed=1), uniform_sphere(10, 4, seed=1))
+        assert np.array_equal(
+            uniform_sphere(10, 4, seed=1), uniform_sphere(10, 4, seed=1)
+        )
 
     def test_invalid(self):
         with pytest.raises(InvalidParameterError):

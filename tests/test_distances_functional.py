@@ -67,7 +67,9 @@ class TestCosineDistance:
         assert cosine_distance(v, v) == pytest.approx(0.0, abs=1e-12)
 
     def test_orthogonal_vectors(self):
-        assert cosine_distance(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(1.0)
+        assert cosine_distance(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        ) == pytest.approx(1.0)
 
     def test_antipodal_vectors(self):
         v = np.array([1.0, 0.0])
@@ -116,7 +118,9 @@ class TestAngularDistance:
 
 class TestEuclideanDistance:
     def test_known_value(self):
-        assert euclidean_distance(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(5.0)
+        assert euclidean_distance(
+            np.array([0.0, 0.0]), np.array([3.0, 4.0])
+        ) == pytest.approx(5.0)
 
     def test_matches_cosine_relation_on_unit_vectors(self):
         rng = np.random.default_rng(3)

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.distances import check_finite_2d, check_unit_norm, is_unit_normalized, normalize_rows
+from repro.distances import (
+    check_finite_2d,
+    check_unit_norm,
+    is_unit_normalized,
+    normalize_rows,
+)
 from repro.exceptions import DataValidationError
 
 

@@ -1,11 +1,12 @@
 """Differential harness: batched vs per-point query paths, per clusterer.
 
-Every clusterer accepts ``batch_queries`` — True routes neighborhood
-computation through the batched engine, False keeps the scalar reference
-loop. The two paths must produce identical clusterings (the engine only
-changes *how* queries are computed, never *which* queries run or what
-the algorithm observes), and the exact methods must also reproduce the
-independent ``reference_dbscan`` implementation.
+Every clusterer takes an ``ExecutionConfig`` — ``batch_queries=True``
+(the default) routes neighborhood computation through the batched
+engine, False keeps the scalar reference loop. The two paths must
+produce identical clusterings (the engine only changes *how* queries
+are computed, never *which* queries run or what the algorithm
+observes), and the exact methods must also reproduce the independent
+``reference_dbscan`` implementation.
 """
 
 from __future__ import annotations
@@ -23,43 +24,51 @@ from repro.clustering import (
 )
 from repro.core import LAFDBSCAN, LAFDBSCANPlusPlus
 from repro.distances import normalize_rows
+from repro.engine_config import ExecutionConfig, IndexSpec
 from repro.estimators import ExactCardinalityEstimator
-from repro.index import CoverTree, KMeansTree
 
 from repro.testing import canonical, make_blobs_on_sphere, reference_dbscan
 
 EPS = 0.5
 TAU = 5
 
+
+def _exec(b: bool, index: IndexSpec | None = None) -> ExecutionConfig:
+    return ExecutionConfig(batch_queries=b, index=index)
+
+
 # Every clusterer under test, as a factory taking batch_queries. Seeded
 # components are constructed fresh per call so both paths see identical
 # randomness.
 CLUSTERERS = {
-    "dbscan": lambda b: DBSCAN(eps=EPS, tau=TAU, batch_queries=b),
+    "dbscan": lambda b: DBSCAN(eps=EPS, tau=TAU, execution=_exec(b)),
     "dbscan_cover_tree_index": lambda b: DBSCAN(
-        eps=EPS, tau=TAU, index_factory=lambda: CoverTree(base=1.8), batch_queries=b
+        eps=EPS,
+        tau=TAU,
+        execution=_exec(b, IndexSpec("cover_tree", {"base": 1.8})),
     ),
     "dbscan_kmeans_tree_index": lambda b: DBSCAN(
         eps=EPS,
         tau=TAU,
-        index_factory=lambda: KMeansTree(checks_ratio=1.0, seed=0),
-        batch_queries=b,
+        execution=_exec(b, IndexSpec("kmeans_tree", {"checks_ratio": 1.0, "seed": 0})),
     ),
     "dbscanpp_uniform": lambda b: DBSCANPlusPlus(
-        eps=EPS, tau=TAU, p=0.5, init="uniform", seed=0, batch_queries=b
+        eps=EPS, tau=TAU, p=0.5, init="uniform", seed=0, execution=_exec(b)
     ),
     "dbscanpp_kcenter": lambda b: DBSCANPlusPlus(
-        eps=EPS, tau=TAU, p=0.5, init="k-center", seed=0, batch_queries=b
+        eps=EPS, tau=TAU, p=0.5, init="k-center", seed=0, execution=_exec(b)
     ),
-    "block_dbscan": lambda b: BlockDBSCAN(eps=EPS, tau=TAU, batch_queries=b),
-    "rho_approx": lambda b: RhoApproxDBSCAN(eps=EPS, tau=TAU, rho=1.0, batch_queries=b),
+    "block_dbscan": lambda b: BlockDBSCAN(eps=EPS, tau=TAU, execution=_exec(b)),
+    "rho_approx": lambda b: RhoApproxDBSCAN(
+        eps=EPS, tau=TAU, rho=1.0, execution=_exec(b)
+    ),
     "laf_dbscan_oracle": lambda b: LAFDBSCAN(
         eps=EPS,
         tau=TAU,
         estimator=ExactCardinalityEstimator(),
         alpha=1.0,
         seed=0,
-        batch_queries=b,
+        execution=_exec(b),
     ),
     # alpha > 1 forces false negatives out of the oracle, exercising the
     # partial-neighbor map and the post-processing merge path.
@@ -69,7 +78,7 @@ CLUSTERERS = {
         estimator=ExactCardinalityEstimator(),
         alpha=1.4,
         seed=0,
-        batch_queries=b,
+        execution=_exec(b),
     ),
     # alpha < 1 lowers the gate instead, producing false positives
     # (predicted core, found non-core after the executed query).
@@ -79,7 +88,7 @@ CLUSTERERS = {
         estimator=ExactCardinalityEstimator(),
         alpha=0.6,
         seed=0,
-        batch_queries=b,
+        execution=_exec(b),
     ),
     "laf_dbscanpp": lambda b: LAFDBSCANPlusPlus(
         eps=EPS,
@@ -88,7 +97,7 @@ CLUSTERERS = {
         p=0.5,
         alpha=1.0,
         seed=0,
-        batch_queries=b,
+        execution=_exec(b),
     ),
     "laf_dbscanpp_false_negatives": lambda b: LAFDBSCANPlusPlus(
         eps=EPS,
@@ -97,13 +106,17 @@ CLUSTERERS = {
         p=0.5,
         alpha=1.4,
         seed=0,
-        batch_queries=b,
+        execution=_exec(b),
     ),
 }
 
 #: Methods whose batched path must also reproduce reference_dbscan exactly.
-EXACT_METHODS = ("dbscan", "dbscan_cover_tree_index", "dbscan_kmeans_tree_index",
-                 "laf_dbscan_oracle")
+EXACT_METHODS = (
+    "dbscan",
+    "dbscan_cover_tree_index",
+    "dbscan_kmeans_tree_index",
+    "laf_dbscan_oracle",
+)
 
 
 @pytest.fixture(scope="module")
@@ -157,8 +170,10 @@ class TestPropertyEquivalence:
     def test_dbscan_paths_agree_on_random_data(self, seed):
         rng = np.random.default_rng(seed)
         X = normalize_rows(rng.normal(size=(50, 8)))
-        batched = DBSCAN(eps=0.6, tau=4, batch_queries=True).fit(X)
-        scalar = DBSCAN(eps=0.6, tau=4, batch_queries=False).fit(X)
+        batched = DBSCAN(eps=0.6, tau=4).fit(X)
+        scalar = DBSCAN(
+            eps=0.6, tau=4, execution=ExecutionConfig(batch_queries=False)
+        ).fit(X)
         assert np.array_equal(batched.labels, scalar.labels)
         assert np.array_equal(
             canonical(batched.labels), canonical(reference_dbscan(X, 0.6, 4))
@@ -170,11 +185,11 @@ class TestPropertyEquivalence:
         rng = np.random.default_rng(seed)
         X = normalize_rows(rng.normal(size=(50, 8)))
         kwargs = dict(eps=0.6, tau=4, alpha=1.3, seed=0)
-        batched = LAFDBSCAN(
-            estimator=ExactCardinalityEstimator(), batch_queries=True, **kwargs
-        ).fit(X)
+        batched = LAFDBSCAN(estimator=ExactCardinalityEstimator(), **kwargs).fit(X)
         scalar = LAFDBSCAN(
-            estimator=ExactCardinalityEstimator(), batch_queries=False, **kwargs
+            estimator=ExactCardinalityEstimator(),
+            execution=ExecutionConfig(batch_queries=False),
+            **kwargs,
         ).fit(X)
         assert np.array_equal(batched.labels, scalar.labels)
         assert batched.stats["range_queries"] == scalar.stats["range_queries"]
@@ -185,7 +200,7 @@ class TestPropertyEquivalence:
 class TestEngineEffectiveness:
     def test_dbscan_batched_path_uses_few_blocks(self, blob_plus_noise):
         n = blob_plus_noise.shape[0]
-        result = DBSCAN(eps=EPS, tau=TAU, batch_queries=True).fit(blob_plus_noise)
+        result = DBSCAN(eps=EPS, tau=TAU).fit(blob_plus_noise)
         assert result.stats["range_queries"] == n
         assert result.stats["engine_computed"] == n
         # The whole fit should need on the order of n / block_size batched
@@ -198,7 +213,6 @@ class TestEngineEffectiveness:
             tau=TAU,
             estimator=ExactCardinalityEstimator(),
             alpha=1.0,
-            batch_queries=True,
         ).fit(blob_plus_noise)
         # The engine computed exactly the executed queries: the gate's
         # skipped points never reached the index.

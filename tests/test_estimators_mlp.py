@@ -53,8 +53,12 @@ class TestFit:
 
     def test_deterministic_given_seed(self):
         X, y = make_regression()
-        p1 = MLPRegressor(hidden_layers=(8,), epochs=10, seed=5).fit(X, y).predict(X[:5])
-        p2 = MLPRegressor(hidden_layers=(8,), epochs=10, seed=5).fit(X, y).predict(X[:5])
+        p1 = (
+            MLPRegressor(hidden_layers=(8,), epochs=10, seed=5).fit(X, y).predict(X[:5])
+        )
+        p2 = (
+            MLPRegressor(hidden_layers=(8,), epochs=10, seed=5).fit(X, y).predict(X[:5])
+        )
         assert np.allclose(p1, p2)
 
     def test_different_seeds_differ(self):

@@ -55,7 +55,9 @@ class TestBuildTrainingSet:
             assert ts.fractions[row] == pytest.approx(expected)
 
     def test_fractions_monotone_in_radius(self, train_matrix):
-        ts = build_training_set(train_matrix, n_queries=5, radii=(0.2, 0.5, 0.9), seed=1)
+        ts = build_training_set(
+            train_matrix, n_queries=5, radii=(0.2, 0.5, 0.9), seed=1
+        )
         per_query = ts.fractions.reshape(5, 3)
         assert (np.diff(per_query, axis=1) >= 0).all()
 

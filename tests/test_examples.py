@@ -30,9 +30,7 @@ def test_example_runs(script, capsys):
 
 def test_examples_directory_complete():
     """The four documented examples exist and nothing is stale."""
-    present = sorted(
-        f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
-    )
+    present = sorted(f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py"))
     assert present == sorted(EXAMPLES)
 
 

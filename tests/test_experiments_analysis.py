@@ -48,7 +48,12 @@ class TestParamSelect:
     def test_grid_covers_all_combinations(self, data):
         cells = parameter_grid({"A": data}, eps_values=(0.4, 0.6), tau_values=(3, 5))
         assert len(cells) == 4
-        assert {(c.eps, c.tau) for c in cells} == {(0.4, 3), (0.4, 5), (0.6, 3), (0.6, 5)}
+        assert {(c.eps, c.tau) for c in cells} == {
+            (0.4, 3),
+            (0.4, 5),
+            (0.6, 3),
+            (0.6, 5),
+        }
 
     def test_cell_statistics_match_dbscan(self, data):
         cells = parameter_grid({"A": data}, eps_values=(0.5,), tau_values=(4,))
@@ -96,9 +101,7 @@ class TestTradeoffSweeps:
         assert points[0].method == "LAF-DBSCAN++"
 
     def test_knn_block_grid_sweep(self, data, gt):
-        points = sweep_knn_block(
-            data, gt, 0.5, 4, branchings=(4,), checks=(0.1, 1.0)
-        )
+        points = sweep_knn_block(data, gt, 0.5, 4, branchings=(4,), checks=(0.1, 1.0))
         assert len(points) == 2
         assert points[0].knob.startswith("branching=4")
 

@@ -63,9 +63,7 @@ class TestRunSuite:
     def test_supplied_gt_labels_used(self, data):
         ctx = MethodContext(eps=0.5, tau=5, estimator=ExactCardinalityEstimator())
         fake_gt = np.zeros(data.shape[0], dtype=np.int64)
-        records = run_suite(
-            data, ("LAF-DBSCAN",), ctx, gt_labels=fake_gt
-        )
+        records = run_suite(data, ("LAF-DBSCAN",), ctx, gt_labels=fake_gt)
         # Scored against the fake ground truth, not real DBSCAN output.
         gt = ground_truth(data, 0.5, 5)
         if gt.n_clusters > 1:
@@ -76,6 +74,27 @@ class TestRunSuite:
         record = run_suite(data, ("DBSCAN",), ctx)[0]
         row = record.as_row()
         assert {"method", "dataset", "eps", "tau", "time_s", "ARI", "AMI"} <= set(row)
+
+    def test_index_override_never_leaks_into_ground_truth(self, data):
+        # An approximate backend override must not become the reference
+        # labels the suite is scored against: DBSCAN self-scores against
+        # an exact recomputation, not its own approximate run.
+        from repro import ExecutionConfig, IndexSpec
+        from repro.experiments import build_method
+
+        ctx = MethodContext(eps=0.5, tau=5)
+        execution = ExecutionConfig(
+            index=IndexSpec("kmeans_tree", {"checks_ratio": 0.05, "seed": 0})
+        )
+        records = run_suite(data, ("DBSCAN",), ctx, execution=execution)
+        exact = ground_truth(data, 0.5, 5)
+        approx = build_method(
+            "DBSCAN", MethodContext(eps=0.5, tau=5, execution=execution), data
+        ).fit(data)
+        from repro.metrics import adjusted_rand_index
+
+        expected_ari = adjusted_rand_index(exact.labels, approx.labels)
+        assert records[0].ari == pytest.approx(expected_ari)
 
     def test_sharded_suite_matches_unsharded(self, data):
         from repro.index import ShardingConfig, sharding_config

@@ -112,9 +112,9 @@ class TestNaNEstimator:
     every point is treated as a stop point — defined, not poisoned."""
 
     def test_nan_treated_as_stop(self, clusterable_data):
-        result = LAFDBSCAN(
-            eps=0.5, tau=5, estimator=NaNEstimator(), alpha=1.0
-        ).fit(clusterable_data)
+        result = LAFDBSCAN(eps=0.5, tau=5, estimator=NaNEstimator(), alpha=1.0).fit(
+            clusterable_data
+        )
         assert result.noise_ratio == 1.0
         assert not np.isnan(result.labels).any()
 

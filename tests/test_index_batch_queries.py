@@ -81,7 +81,9 @@ class TestBatchAgainstScalar:
         index = factory().build(data)
         results = index.batch_range_query(data[0], EPS)
         assert len(results) == 1
-        assert np.array_equal(np.sort(results[0]), np.sort(index.range_query(data[0], EPS)))
+        assert np.array_equal(
+            np.sort(results[0]), np.sort(index.range_query(data[0], EPS))
+        )
 
     def test_self_is_included(self, name, factory, data):
         index = factory().build(data)

@@ -127,5 +127,7 @@ class TestBatchedForms:
             assert np.array_equal(grid[:, j], index.range_count_many(Q, float(eps)))
 
     def test_multi_eps_monotone_in_radius(self, index, unit_vectors_small):
-        grid = index.range_count_multi_eps(unit_vectors_small, np.array([0.1, 0.5, 1.5]))
+        grid = index.range_count_multi_eps(
+            unit_vectors_small, np.array([0.1, 0.5, 1.5])
+        )
         assert (np.diff(grid, axis=1) >= 0).all()

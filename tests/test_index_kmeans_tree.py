@@ -58,7 +58,9 @@ class TestExactModes:
     """checks_ratio = 1.0 visits every leaf -> exact results."""
 
     def test_knn_exact_at_full_checks(self, data):
-        tree = KMeansTree(branching=4, checks_ratio=1.0, leaf_size=8, seed=1).build(data)
+        tree = KMeansTree(branching=4, checks_ratio=1.0, leaf_size=8, seed=1).build(
+            data
+        )
         brute = BruteForceIndex().build(data)
         for qi in (0, 50, 150):
             t_idx, t_d = tree.knn_query(data[qi], k=8)
@@ -66,7 +68,9 @@ class TestExactModes:
             assert np.allclose(np.sort(t_d), np.sort(b_d), atol=1e-9)
 
     def test_range_exact_at_full_checks(self, data):
-        tree = KMeansTree(branching=4, checks_ratio=1.0, leaf_size=8, seed=1).build(data)
+        tree = KMeansTree(branching=4, checks_ratio=1.0, leaf_size=8, seed=1).build(
+            data
+        )
         brute = BruteForceIndex().build(data)
         for eps in (0.3, 0.7, 1.2):
             got = set(tree.range_query(data[17], eps).tolist())
@@ -76,7 +80,9 @@ class TestExactModes:
 
 class TestApproximateModes:
     def test_low_checks_returns_k_results(self, data):
-        tree = KMeansTree(branching=4, checks_ratio=0.05, leaf_size=8, seed=2).build(data)
+        tree = KMeansTree(branching=4, checks_ratio=0.05, leaf_size=8, seed=2).build(
+            data
+        )
         idx, dists = tree.knn_query(data[0], k=5)
         assert idx.size == 5
         assert np.all(np.diff(dists) >= -1e-12)
@@ -86,7 +92,9 @@ class TestApproximateModes:
         brute = BruteForceIndex().build(X)
         recalls = []
         for ratio in (0.05, 1.0):
-            tree = KMeansTree(branching=5, checks_ratio=ratio, leaf_size=8, seed=3).build(X)
+            tree = KMeansTree(
+                branching=5, checks_ratio=ratio, leaf_size=8, seed=3
+            ).build(X)
             hits = 0
             for qi in range(0, X.shape[0], 5):
                 b_idx, _ = brute.knn_query(X[qi], k=10)
@@ -98,12 +106,16 @@ class TestApproximateModes:
     def test_nearest_self_found_even_with_low_checks(self, data):
         # Greedy descent always reaches the leaf containing the query
         # region, so the query point itself is essentially always found.
-        tree = KMeansTree(branching=4, checks_ratio=0.02, leaf_size=8, seed=4).build(data)
+        tree = KMeansTree(branching=4, checks_ratio=0.02, leaf_size=8, seed=4).build(
+            data
+        )
         idx, dists = tree.knn_query(data[42], k=1)
         assert dists[0] == pytest.approx(0.0, abs=1e-9)
 
     def test_range_query_subset_of_exact(self, data):
-        tree = KMeansTree(branching=4, checks_ratio=0.1, leaf_size=8, seed=5).build(data)
+        tree = KMeansTree(branching=4, checks_ratio=0.1, leaf_size=8, seed=5).build(
+            data
+        )
         brute = BruteForceIndex().build(data)
         got = set(tree.range_query(data[3], 0.8).tolist())
         expected = set(brute.range_query(data[3], 0.8).tolist())

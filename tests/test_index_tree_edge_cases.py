@@ -201,9 +201,7 @@ class TestTraversalKernels:
         q_flat = np.concatenate(
             [rng.choice(30, size=c, replace=False) for c in counts]
         ).astype(np.int64)
-        offsets = np.concatenate(
-            [np.zeros(1, dtype=np.int64), np.cumsum(counts)]
-        )
+        offsets = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(counts)])
         dense = grouped_pair_distances(
             Q, q_flat, offsets, C, dense_work_factor=1e9, squared=squared
         )
@@ -231,9 +229,7 @@ class TestScalarFallbackBudget:
         # Tiny checks_ratio with a dataset dense enough that every query
         # reaches more leaves than the budget allows.
         X, _ = make_blobs_on_sphere(40, 2, 6, spread=0.4, seed=6)
-        index = KMeansTree(
-            checks_ratio=0.05, leaf_size=4, branching=3, seed=0
-        ).build(X)
+        index = KMeansTree(checks_ratio=0.05, leaf_size=4, branching=3, seed=0).build(X)
         assert_batch_matches_scalar(index, X, 1.2)
 
     def test_engine_style_batches_match(self):

@@ -57,9 +57,7 @@ class TestFullPipeline:
             estimator=workload.estimator,
             seed=0,
         )
-        records = run_suite(
-            workload.X_test, ALL_METHODS, ctx, dataset_name="MS-50k"
-        )
+        records = run_suite(workload.X_test, ALL_METHODS, ctx, dataset_name="MS-50k")
         assert {r.method for r in records} == set(ALL_METHODS)
         for r in records:
             assert np.isfinite(r.ari)

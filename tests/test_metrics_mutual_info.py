@@ -184,7 +184,9 @@ class TestAdjustedMutualInfo:
         assert abs(adjusted_mutual_info(a, b)) < 0.02
 
     def test_degenerate_both_trivial(self):
-        assert adjusted_mutual_info(np.zeros(6, dtype=int), np.zeros(6, dtype=int)) == 1.0
+        assert (
+            adjusted_mutual_info(np.zeros(6, dtype=int), np.zeros(6, dtype=int)) == 1.0
+        )
         assert adjusted_mutual_info(np.arange(6), np.arange(6)) == 1.0
 
     def test_one_trivial_one_not(self):

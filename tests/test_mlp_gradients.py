@@ -44,9 +44,9 @@ class TestBackpropGradients:
                 down = _loss(model, X, y)
                 W[index] = original
                 numeric = (up - down) / (2 * h)
-                assert grad_w[layer][index] == pytest.approx(numeric, rel=1e-4, abs=1e-7), (
-                    f"weight gradient mismatch at layer {layer}, index {index}"
-                )
+                assert grad_w[layer][index] == pytest.approx(
+                    numeric, rel=1e-4, abs=1e-7
+                ), f"weight gradient mismatch at layer {layer}, index {index}"
 
     def test_bias_gradients_match_finite_differences(self, setup):
         model, X, y = setup
@@ -63,9 +63,9 @@ class TestBackpropGradients:
                 down = _loss(model, X, y)
                 b[index] = original
                 numeric = (up - down) / (2 * h)
-                assert grad_b[layer][index] == pytest.approx(numeric, rel=1e-4, abs=1e-7), (
-                    f"bias gradient mismatch at layer {layer}, index {index}"
-                )
+                assert grad_b[layer][index] == pytest.approx(
+                    numeric, rel=1e-4, abs=1e-7
+                ), f"bias gradient mismatch at layer {layer}, index {index}"
 
     def test_l2_gradient_contribution(self, setup):
         model, X, y = setup

@@ -28,9 +28,10 @@ import pytest
 
 from repro.clustering import DBSCAN
 from repro.core import LAFDBSCAN
+from repro.engine_config import ExecutionConfig, IndexSpec
 from repro.estimators import ExactCardinalityEstimator
-from repro.index import BruteForceIndex, CoverTree, GridIndex, KMeansTree, ShardedIndex
-from repro.index.sharded import EXECUTOR_NAMES, INNER_BACKENDS, sharded_queries
+from repro.index import ShardedIndex
+from repro.index.sharded import EXECUTOR_NAMES, INNER_BACKENDS, ShardingConfig
 from repro.testing import make_blobs_on_sphere
 
 EPS = 0.5
@@ -47,13 +48,16 @@ BACKENDS = [
 ]
 backend_ids = [n for n, _ in BACKENDS]
 
-#: index_factory equivalents for routing clusterers onto each backend.
-FACTORIES = {
-    "brute_force": lambda: BruteForceIndex(),
-    "cover_tree": lambda: CoverTree(base=1.6),
-    "kmeans_tree": lambda: KMeansTree(checks_ratio=1.0, seed=0, leaf_size=8),
-    "grid": lambda: GridIndex(eps=EPS, rho=1.0),
-}
+#: IndexSpec equivalents for routing clusterers onto each backend.
+SPECS = {name: IndexSpec(name, kwargs) for name, kwargs in BACKENDS}
+
+
+def sharded_execution(executor: str, index: IndexSpec | None = None) -> ExecutionConfig:
+    """The first-class equivalent of the old ambient sharded_queries scope."""
+    return ExecutionConfig(
+        index=index,
+        sharding=ShardingConfig(n_shards=N_SHARDS, executor=executor, n_workers=2),
+    )
 
 
 @pytest.fixture(scope="module")
@@ -124,9 +128,7 @@ class TestShardedIndexBuildOnce:
 def test_unqueried_process_index_reports_zero_builds(data):
     # Lazy contract: no queries -> no worker builds, and close() must
     # not spawn never-started workers just to hear "0 builds".
-    index = ShardedIndex(n_shards=N_SHARDS, executor="process", n_workers=2).build(
-        data
-    )
+    index = ShardedIndex(n_shards=N_SHARDS, executor="process", n_workers=2).build(data)
     assert index.stats()["shard_inner_builds"] == 0
     index.close()
     assert index.stats()["shard_inner_builds"] == 0
@@ -138,10 +140,13 @@ class TestClustererFitBuildOnce:
     def test_dbscan_fit_builds_each_shard_once(
         self, name, kwargs, executor, data, build_counter
     ):
-        baseline = DBSCAN(eps=EPS, tau=TAU, index_factory=FACTORIES[name]).fit(data)
+        baseline = DBSCAN(
+            eps=EPS, tau=TAU, execution=ExecutionConfig(index=SPECS[name])
+        ).fit(data)
         parent_builds_before = build_counter["n"]
-        with sharded_queries(n_shards=N_SHARDS, executor=executor, n_workers=2):
-            result = DBSCAN(eps=EPS, tau=TAU, index_factory=FACTORIES[name]).fit(data)
+        result = DBSCAN(
+            eps=EPS, tau=TAU, execution=sharded_execution(executor, SPECS[name])
+        ).fit(data)
         parent_builds = build_counter["n"] - parent_builds_before
         # Shard-before-build: the parent never constructs the
         # whole-dataset index. Serial/thread build the shards in the
@@ -162,15 +167,18 @@ class TestLafDbscanBuildOnce:
     def test_laf_fit_builds_each_shard_once_and_matches(
         self, executor, data, build_counter
     ):
-        def make():
+        def make(execution=None):
             return LAFDBSCAN(
-                eps=EPS, tau=TAU, estimator=ExactCardinalityEstimator(), alpha=1.0
+                eps=EPS,
+                tau=TAU,
+                estimator=ExactCardinalityEstimator(),
+                alpha=1.0,
+                execution=execution,
             )
 
         baseline = make().fit(data)
         parent_builds_before = build_counter["n"]
-        with sharded_queries(n_shards=N_SHARDS, executor=executor, n_workers=2):
-            result = make().fit(data)
+        result = make(sharded_execution(executor)).fit(data)
         parent_builds = build_counter["n"] - parent_builds_before
         # The oracle estimator builds one BruteForceIndex of its own in
         # bind() — estimator machinery, not the range-query engine; the

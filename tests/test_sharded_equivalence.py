@@ -19,6 +19,7 @@ import numpy as np
 import pytest
 
 from repro.clustering import DBSCAN
+from repro.engine_config import ExecutionConfig
 from repro.exceptions import InvalidParameterError, NotFittedError
 from repro.index import (
     BruteForceIndex,
@@ -286,9 +287,7 @@ class TestEngineWiring:
 
     def test_cache_wraps_index_under_config(self, data):
         index = BruteForceIndex().build(data)
-        cache = NeighborhoodCache(
-            index, data, EPS, sharding=ShardingConfig(n_shards=3)
-        )
+        cache = NeighborhoodCache(index, data, EPS, sharding=ShardingConfig(n_shards=3))
         assert isinstance(cache._index, ShardedIndex)
         for p in range(10):
             assert np.array_equal(
@@ -317,28 +316,38 @@ class TestEngineWiring:
     @pytest.mark.parametrize("executor", ["serial", "process"])
     def test_dbscan_identical_under_sharding(self, executor, data):
         baseline = DBSCAN(eps=0.5, tau=4).fit(data)
-        with sharded_queries(n_shards=4, executor=executor, n_workers=2):
-            result = DBSCAN(eps=0.5, tau=4).fit(data)
+        result = DBSCAN(
+            eps=0.5,
+            tau=4,
+            execution=ExecutionConfig(
+                sharding=ShardingConfig(n_shards=4, executor=executor, n_workers=2)
+            ),
+        ).fit(data)
         assert np.array_equal(baseline.labels, result.labels)
         assert np.array_equal(baseline.core_mask, result.core_mask)
         assert baseline.stats["range_queries"] == result.stats["range_queries"]
 
-    def test_context_restores_previous_config(self):
+    def test_deprecated_context_restores_previous_config(self):
+        """The legacy shims still scope correctly (thread-locally)."""
         assert sharding_config() is None
         outer = ShardingConfig(n_shards=2)
-        set_sharding(outer)
+        with pytest.warns(DeprecationWarning):
+            set_sharding(outer)
         try:
-            with sharded_queries(n_shards=8) as inner:
-                assert sharding_config() is inner
-                assert inner.n_shards == 8
+            with pytest.warns(DeprecationWarning):
+                with sharded_queries(n_shards=8) as inner:
+                    assert sharding_config() is inner
+                    assert inner.n_shards == 8
             assert sharding_config() is outer
         finally:
-            set_sharding(None)
+            with pytest.warns(DeprecationWarning):
+                set_sharding(None)
         assert sharding_config() is None
 
     def test_set_sharding_rejects_junk(self):
-        with pytest.raises(InvalidParameterError):
-            set_sharding("4 shards please")
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(InvalidParameterError):
+                set_sharding("4 shards please")
 
     def test_maybe_shard_passthrough(self, data):
         class Opaque:
@@ -399,9 +408,7 @@ class TestEngineWiring:
         fitted = BruteForceIndex().build(data)
         resolved, owned = resolve_engine_index(fitted, data, None)
         assert resolved is fitted and not owned
-        wrapped, owned = resolve_engine_index(
-            fitted, data, ShardingConfig(n_shards=2)
-        )
+        wrapped, owned = resolve_engine_index(fitted, data, ShardingConfig(n_shards=2))
         assert isinstance(wrapped, ShardedIndex) and owned
         wrapped.close()
 

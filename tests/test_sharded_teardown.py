@@ -34,8 +34,9 @@ import pytest
 
 import repro.index.sharded as sharded_mod
 from repro.clustering import DBSCAN
+from repro.engine_config import ExecutionConfig
 from repro.index import BruteForceIndex, ShardedIndex
-from repro.index.sharded import sharded_queries
+from repro.index.sharded import ShardingConfig
 from repro.testing import make_blobs_on_sphere
 
 pytestmark = pytest.mark.skipif(
@@ -94,9 +95,11 @@ class TestLeakOnMidQueryFailure:
             raise RuntimeError("injected shard-op failure")
 
         monkeypatch.setitem(sharded_mod._SHARD_OPS, "range", exploding_range)
+        execution = ExecutionConfig(
+            sharding=ShardingConfig(n_shards=2, executor="process", n_workers=2)
+        )
         with pytest.raises(RuntimeError, match="injected shard-op failure"):
-            with sharded_queries(n_shards=2, executor="process", n_workers=2):
-                DBSCAN(eps=EPS, tau=3).fit(data)
+            DBSCAN(eps=EPS, tau=3, execution=execution).fit(data)
         # The traceback above still pins the clusterer frame (and the
         # engine in it), so only a deterministic close() in the fit's
         # finally can have released the segment — assert it did.
@@ -124,9 +127,9 @@ class TestRebalanceOnWorkerDeath:
     def test_one_dead_worker_rebalances_to_survivor(self, data):
         single = BruteForceIndex().build(data)
         expected = single.batch_range_query(data, EPS)
-        with ShardedIndex(
-            n_shards=4, executor="process", n_workers=2
-        ).build(data) as index:
+        with ShardedIndex(n_shards=4, executor="process", n_workers=2).build(
+            data
+        ) as index:
             first = index.batch_range_query(data, EPS)
             for got, exp in zip(first, expected):
                 assert np.array_equal(got, np.sort(exp))
@@ -145,9 +148,9 @@ class TestRebalanceOnWorkerDeath:
     def test_all_workers_dead_respawns_fresh_slot(self, data):
         single = BruteForceIndex().build(data)
         expected = single.batch_range_query(data, EPS)
-        with ShardedIndex(
-            n_shards=3, executor="process", n_workers=2
-        ).build(data) as index:
+        with ShardedIndex(n_shards=3, executor="process", n_workers=2).build(
+            data
+        ) as index:
             index.batch_range_query(data[:4], EPS)
             executor = index._executor_obj
             for pid in _slot_pids(executor):

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.data.datasets import DATASET_SPECS
-from repro.experiments.workloads import Workload, clear_cache, prepare_workload, prepare_workloads
+from repro.experiments.workloads import (
+    Workload,
+    clear_cache,
+    prepare_workload,
+    prepare_workloads,
+)
 
 
 @pytest.fixture(autouse=True)
@@ -55,7 +60,10 @@ class TestPrepareWorkload:
             ("MS-50k", "MS-100k"), scale=0.003, seed=0, epochs=3, n_train_queries=40
         )
         assert set(workloads) == {"MS-50k", "MS-100k"}
-        assert workloads["MS-100k"].X_train.shape[0] > workloads["MS-50k"].X_train.shape[0]
+        assert (
+            workloads["MS-100k"].X_train.shape[0]
+            > workloads["MS-50k"].X_train.shape[0]
+        )
 
     def test_split_is_paper_ratio(self):
         wl = tiny()
