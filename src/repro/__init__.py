@@ -31,7 +31,7 @@ and ``benchmarks/`` for the reproduction of every table and figure in
 the paper.
 """
 
-from repro.api import cluster, clusterer_names, make_clusterer
+from repro.api import cluster, clusterer_names, fit_model, load_model, make_clusterer
 from repro.clustering import (
     BlockDBSCAN,
     Clusterer,
@@ -65,9 +65,11 @@ from repro.exceptions import (
     EstimatorError,
     InvalidParameterError,
     NotFittedError,
+    PersistenceError,
     ReproError,
 )
 from repro.index.sharded import ShardingConfig
+from repro.persistence import ClusterModel, load_index, save_index
 from repro.metrics import (
     adjusted_mutual_info,
     adjusted_rand_index,
@@ -80,6 +82,7 @@ __version__ = "1.0.0"
 __all__ = [
     "BlockDBSCAN",
     "CardinalityEstimator",
+    "ClusterModel",
     "Clusterer",
     "ClusteringResult",
     "DBSCAN",
@@ -98,6 +101,7 @@ __all__ = [
     "MLPRegressor",
     "NotFittedError",
     "PartialNeighborMap",
+    "PersistenceError",
     "RMICardinalityEstimator",
     "RadialHistogramEstimator",
     "ReproError",
@@ -108,10 +112,14 @@ __all__ = [
     "adjusted_rand_index",
     "cluster",
     "clusterer_names",
+    "fit_model",
+    "load_index",
+    "load_model",
     "make_clusterer",
     "missed_cluster_stats",
     "noise_ratio",
     "post_process",
+    "save_index",
     "predicted_core_ratio",
     "select_alpha",
     "__version__",

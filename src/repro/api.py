@@ -44,7 +44,14 @@ from repro.core import LAFDBSCAN, LAFDBSCANPlusPlus
 from repro.engine_config import ExecutionConfig
 from repro.exceptions import InvalidParameterError
 
-__all__ = ["CLUSTERERS", "cluster", "clusterer_names", "make_clusterer"]
+__all__ = [
+    "CLUSTERERS",
+    "cluster",
+    "clusterer_names",
+    "fit_model",
+    "load_model",
+    "make_clusterer",
+]
 
 #: Registered clusterers, constructible by name.
 CLUSTERERS: dict[str, type[Clusterer]] = {
@@ -113,3 +120,27 @@ def cluster(
     :class:`~repro.clustering.base.ClusteringResult`.
     """
     return make_clusterer(algo, execution=execution, **params).fit(X)
+
+
+def fit_model(
+    X: np.ndarray,
+    algo: str = "dbscan",
+    *,
+    execution: ExecutionConfig | None = None,
+    **params,
+):
+    """Fit a registered algorithm and freeze it for serving.
+
+    Equivalent to ``make_clusterer(algo, ...).fit_model(X)``; returns a
+    :class:`~repro.persistence.ClusterModel` supporting
+    ``predict(X_new)``, ``save(path)`` and (after a restart)
+    :func:`load_model`.
+    """
+    return make_clusterer(algo, execution=execution, **params).fit_model(X)
+
+
+def load_model(path, *, mmap: bool = True, verify: bool = True):
+    """Load a :class:`~repro.persistence.ClusterModel` saved with ``save``."""
+    from repro.persistence import load_model as _load_model
+
+    return _load_model(path, mmap=mmap, verify=verify)

@@ -24,7 +24,7 @@ from __future__ import annotations
 import argparse
 
 from repro.engine_config import DEFAULT_ENGINE_BLOCK, ExecutionConfig, IndexSpec
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import InvalidParameterError, PersistenceError
 from repro.experiments.efficiency import speedup_summary, timing_comparison
 from repro.experiments.missed import missed_cluster_analysis
 from repro.experiments.param_select import parameter_grid
@@ -142,6 +142,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--eps", type=float, default=0.55)
     p.add_argument("--tau", type=int, default=5)
     p.add_argument("--alpha", type=float, default=None, help="override Table 1 alpha")
+
+    p = sub.add_parser(
+        "fit", help="fit a clusterer and save a servable model artifact"
+    )
+    common(p, multi_dataset=False)
+    p.add_argument("--algo", default="dbscan", help="registered clusterer name")
+    p.add_argument("--eps", type=float, default=0.55)
+    p.add_argument("--tau", type=int, default=5)
+    p.add_argument(
+        "--alpha", type=float, default=None, help="LAF gate alpha (default: Table 1)"
+    )
+    p.add_argument(
+        "--save",
+        required=True,
+        metavar="DIR",
+        help="artifact directory for the fitted model (see docs/persistence.md)",
+    )
+
+    p = sub.add_parser(
+        "predict",
+        help="classify a dataset's test split against a saved model "
+        "(execution flags are ignored; the model carries its own policy)",
+    )
+    common(p, multi_dataset=False)
+    p.add_argument(
+        "--model",
+        required=True,
+        metavar="DIR",
+        help="model artifact directory written by fit --save",
+    )
 
     return parser
 
@@ -295,12 +325,92 @@ def _cmd_missed(args, execution: ExecutionConfig) -> list[dict]:
     return [{**row, "dataset": args.dataset, "alpha": alpha}]
 
 
+def _cmd_fit(args, execution: ExecutionConfig) -> list[dict]:
+    from repro.api import fit_model
+
+    algo = str(args.algo).strip().lower()
+    params: dict = {"eps": args.eps, "tau": args.tau}
+    if algo.startswith("laf"):
+        # LAF methods need the trained estimator from the paper pipeline
+        # (generate -> split -> train RMI on the training split).
+        datasets, estimators, alphas = _prepare(args, [args.dataset])
+        X = datasets[args.dataset]
+        params["estimator"] = estimators[args.dataset]
+        params["alpha"] = (
+            args.alpha if args.alpha is not None else alphas[args.dataset]
+        )
+    else:
+        from repro.data import load_dataset
+
+        _, X = load_dataset(args.dataset, scale=args.scale, seed=args.seed).split()
+    model = fit_model(X, algo, execution=execution, **params)
+    try:
+        model.save(args.save)
+        row = {
+            "algo": model.algo,
+            "dataset": args.dataset,
+            "n_points": model.n_points,
+            "n_cores": model.n_cores,
+            "n_clusters": model.n_clusters,
+            "path": args.save,
+        }
+    finally:
+        model.close()
+    print(
+        f"saved {row['algo']} model: {row['n_points']} points, "
+        f"{row['n_clusters']} clusters, {row['n_cores']} cores -> {args.save}"
+    )
+    return [row]
+
+
+def _cmd_predict(args, execution: ExecutionConfig) -> list[dict]:
+    from repro.api import load_model
+    from repro.data import load_dataset
+
+    _, X = load_dataset(args.dataset, scale=args.scale, seed=args.seed).split()
+    model = load_model(args.model)
+    try:
+        labels = model.predict(X)
+    finally:
+        model.close()
+    import numpy as np
+
+    n = int(labels.size)
+    noise = int(np.count_nonzero(labels == -1))
+    hit = np.unique(labels[labels != -1])
+    counts = [
+        [int(c), int(np.count_nonzero(labels == c))] for c in hit.tolist()
+    ]
+    print(
+        format_table(
+            ["cluster", "points"],
+            [["noise", noise], *counts],
+            title=(
+                f"{model.algo} predictions on {args.dataset} "
+                f"({n} queries, eps={model.eps})"
+            ),
+        )
+    )
+    return [
+        {
+            "model": args.model,
+            "dataset": args.dataset,
+            "n_queries": n,
+            "n_noise": noise,
+            "noise_ratio": noise / n if n else 0.0,
+            "clusters_hit": len(counts),
+        }
+    ]
+
+
 _COMMANDS = {
     "quality": _cmd_quality,
     "timing": _cmd_timing,
     "grid": _cmd_grid,
     "tradeoff": _cmd_tradeoff,
     "missed": _cmd_missed,
+    "fit": _cmd_fit,
+    "predict": _cmd_predict,
 }
 
 
@@ -314,7 +424,12 @@ def main(argv: list[str] | None = None) -> int:
         # e.g. --per-point with --shards: a config contradiction, shown
         # as a usage error instead of a traceback.
         parser.error(str(exc))
-    rows = _COMMANDS[args.command](args, execution)
+    try:
+        rows = _COMMANDS[args.command](args, execution)
+    except (InvalidParameterError, PersistenceError) as exc:
+        # Unknown algo, unreadable artifact, ...: usage errors, not
+        # tracebacks.
+        parser.error(str(exc))
     if args.json:
         save_json(args.json, rows)
         print(f"\nwrote {args.json}")

@@ -15,7 +15,13 @@ from repro.exceptions import InvalidParameterError
 from repro.index.brute_force import BruteForceIndex
 from repro.index.engine import NeighborhoodCache, PerPointQueries, fresh_engine_index
 
-__all__ = ["NOISE", "ClusteringResult", "Clusterer", "canonicalize_labels"]
+__all__ = [
+    "NOISE",
+    "ClusteringResult",
+    "Clusterer",
+    "canonicalize_labels",
+    "resolve_index_spec",
+]
 
 #: Label value for noise points in every result of this library.
 NOISE = -1
@@ -87,6 +93,49 @@ class ClusteringResult:
         return np.flatnonzero(self.labels == cluster_id)
 
 
+def resolve_index_spec(spec: IndexSpec | None, metric: Metric, default=None):
+    """Resolve an execution config's index spec under a host's metric.
+
+    A named spec carries no metric of its own, so the host's metric is
+    threaded into backends that take one (brute force) — otherwise
+    ``IndexSpec("brute_force")`` would silently answer cosine queries
+    under a euclidean host. The tree/grid backends are tied to the unit
+    sphere by their Equation 1 conversions, so naming one under a
+    non-cosine metric is a configuration error, not a silent
+    degradation. Custom factory specs wire their own metric.
+
+    ``default`` is a zero-argument callable used when ``spec`` is None
+    (a brute-force index in the host's metric if omitted). Shared by
+    clusterer fits and :class:`~repro.persistence.ClusterModel` serving,
+    so a loaded model resolves its query backend exactly like the fit
+    that produced it.
+    """
+    if spec is None:
+        if default is not None:
+            return default()
+        return BruteForceIndex(metric=metric)
+    if spec.is_custom:
+        return spec.make()
+    if spec.name == "brute_force":
+        if "metric" not in spec.kwargs:
+            return BruteForceIndex(metric=metric, **spec.kwargs)
+        spec_metric = get_metric(spec.kwargs["metric"])
+        if spec_metric.name != metric.name:
+            raise InvalidParameterError(
+                f"IndexSpec metric {spec_metric.name!r} contradicts the "
+                f"clusterer's metric {metric.name!r}; drop the "
+                "spec's 'metric' kwarg to inherit the clusterer's"
+            )
+        return spec.make()
+    if metric.name != COSINE.name:
+        raise InvalidParameterError(
+            f"index backend {spec.name!r} is tied to cosine distance "
+            f"(Equation 1) and cannot serve metric={metric.name!r}; "
+            "use a brute_force spec or a custom factory"
+        )
+    return spec.make()
+
+
 class Clusterer(abc.ABC):
     """Interface of every clustering algorithm in this library.
 
@@ -105,6 +154,10 @@ class Clusterer(abc.ABC):
     queries through. Nothing about execution lives in global state, so
     concurrent fits with different configurations cannot interfere.
     """
+
+    #: Registry name of the algorithm (overridden per subclass); recorded
+    #: in saved :class:`~repro.persistence.ClusterModel` artifacts.
+    algo_name: str = ""
 
     def __init__(
         self,
@@ -174,38 +227,12 @@ class Clusterer(abc.ABC):
     def _make_index(self):
         """Resolve :attr:`execution`'s index spec in this clusterer's metric.
 
-        A named spec carries no metric of its own, so the clusterer's
-        metric is threaded into backends that take one (brute force) —
-        otherwise ``IndexSpec("brute_force")`` would silently answer
-        cosine queries under a euclidean clusterer. The tree/grid
-        backends are tied to the unit sphere by their Equation 1
-        conversions, so naming one under a non-cosine metric is a
-        configuration error, not a silent degradation. Custom factory
-        specs wire their own metric, exactly as ``index_factory`` did.
+        Delegates to :func:`resolve_index_spec` (shared with the serving
+        path) with this clusterer's default backend.
         """
-        spec = self.execution.index
-        if spec is None:
-            return self._default_index()
-        if spec.is_custom:
-            return spec.make()
-        if spec.name == "brute_force":
-            if "metric" not in spec.kwargs:
-                return BruteForceIndex(metric=self.metric, **spec.kwargs)
-            spec_metric = get_metric(spec.kwargs["metric"])
-            if spec_metric.name != self.metric.name:
-                raise InvalidParameterError(
-                    f"IndexSpec metric {spec_metric.name!r} contradicts the "
-                    f"clusterer's metric {self.metric.name!r}; drop the "
-                    "spec's 'metric' kwarg to inherit the clusterer's"
-                )
-            return spec.make()
-        if self.metric.name != COSINE.name:
-            raise InvalidParameterError(
-                f"index backend {spec.name!r} is tied to cosine distance "
-                f"(Equation 1) and cannot serve metric={self.metric.name!r}; "
-                "use a brute_force spec or a custom factory"
-            )
-        return spec.make()
+        return resolve_index_spec(
+            self.execution.index, self.metric, default=self._default_index
+        )
 
     @contextlib.contextmanager
     def _engine(self, X: np.ndarray, *, plan=None, prebuilt=None):
@@ -264,3 +291,46 @@ class Clusterer(abc.ABC):
     def fit_predict(self, X: np.ndarray) -> np.ndarray:
         """Convenience: :meth:`fit` and return only the labels."""
         return self.fit(X).labels
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def model_params(self) -> dict:
+        """JSON-safe hyperparameters recorded in a saved model.
+
+        Subclasses extend with their own knobs; everything here must
+        survive a JSON round-trip unchanged.
+        """
+        return {"eps": self.eps, "tau": self.tau, "metric": self.metric.name}
+
+    def fit_model(self, X: np.ndarray):
+        """Fit and freeze the result as a :class:`~repro.persistence.ClusterModel`.
+
+        The model holds the labels, core mask and enough execution
+        metadata to serve ``predict(X_new)`` and survive
+        ``save(path)`` / :func:`repro.persistence.load_model`. Requires
+        the algorithm to materialize per-point core status.
+        """
+        from repro.exceptions import PersistenceError
+        from repro.persistence import ClusterModel
+
+        X = self.metric.validate(X)
+        result = self.fit(X)
+        if result.core_mask is None:
+            raise PersistenceError(
+                f"{type(self).__name__} does not materialize per-point "
+                "core status, so its fits cannot be frozen into a "
+                "servable ClusterModel"
+            )
+        estimator = getattr(getattr(self, "laf", None), "estimator", None)
+        return ClusterModel(
+            points=X,
+            labels=result.labels,
+            core_mask=result.core_mask,
+            algo=self.algo_name or type(self).__name__,
+            params=self.model_params(),
+            metric=self.metric,
+            execution=self.execution,
+            estimator=estimator,
+        )

@@ -74,6 +74,8 @@ class BlockDBSCAN(Clusterer):
         and produces identical results.
     """
 
+    algo_name = "block-dbscan"
+
     def __init__(
         self,
         eps: float,
@@ -89,6 +91,11 @@ class BlockDBSCAN(Clusterer):
             raise InvalidParameterError(f"rnt must be >= 1; got {rnt}")
         self.base = float(base)
         self.rnt = int(rnt)
+
+    def model_params(self) -> dict:
+        params = super().model_params()
+        params.update(base=self.base, rnt=self.rnt)
+        return params
 
     def _default_index(self) -> CoverTree:
         return CoverTree(base=self.base)

@@ -62,6 +62,8 @@ class DBSCAN(Clusterer):
     True
     """
 
+    algo_name = "dbscan"
+
     def __init__(
         self,
         eps: float,

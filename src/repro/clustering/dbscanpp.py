@@ -62,6 +62,8 @@ class DBSCANPlusPlus(Clusterer):
         and produces identical results.
     """
 
+    algo_name = "dbscan++"
+
     def __init__(
         self,
         eps: float,
@@ -85,6 +87,13 @@ class DBSCANPlusPlus(Clusterer):
         self.init = init
         self.assign_within_eps = bool(assign_within_eps)
         self._rng = ensure_rng(seed)
+
+    def model_params(self) -> dict:
+        params = super().model_params()
+        params.update(
+            p=self.p, init=self.init, assign_within_eps=self.assign_within_eps
+        )
+        return params
 
     # ------------------------------------------------------------------
     # Sampling

@@ -69,6 +69,8 @@ class KNNBlockDBSCAN(Clusterer):
         backend/sharding/batching fields do not apply.
     """
 
+    algo_name = "knn-block"
+
     def __init__(
         self,
         eps: float,
@@ -86,6 +88,15 @@ class KNNBlockDBSCAN(Clusterer):
         self.checks_ratio = float(checks_ratio)
         self.block_k = int(block_k)
         self._rng = ensure_rng(seed)
+
+    def model_params(self) -> dict:
+        params = super().model_params()
+        params.update(
+            branching=self.branching,
+            checks_ratio=self.checks_ratio,
+            block_k=self.block_k,
+        )
+        return params
 
     def fit(self, X: np.ndarray) -> ClusteringResult:
         X = check_unit_norm(X)

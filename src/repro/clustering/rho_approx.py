@@ -66,6 +66,8 @@ class RhoApproxDBSCAN(Clusterer):
         and produces identical results.
     """
 
+    algo_name = "rho-approx"
+
     def __init__(
         self,
         eps: float,
@@ -79,6 +81,11 @@ class RhoApproxDBSCAN(Clusterer):
         if rho <= 0:
             raise InvalidParameterError(f"rho must be positive; got {rho}")
         self.rho = float(rho)
+
+    def model_params(self) -> dict:
+        params = super().model_params()
+        params.update(rho=self.rho)
+        return params
 
     def fit(self, X: np.ndarray) -> ClusteringResult:
         X = check_unit_norm(X)

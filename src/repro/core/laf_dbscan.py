@@ -85,6 +85,8 @@ class LAFDBSCAN(Clusterer):
     True
     """
 
+    algo_name = "laf-dbscan"
+
     def __init__(
         self,
         eps: float,
@@ -106,6 +108,14 @@ class LAFDBSCAN(Clusterer):
             enable_post_processing=enable_post_processing,
             seed=seed,
         )
+
+    def model_params(self) -> dict:
+        params = super().model_params()
+        params.update(
+            alpha=self.laf.alpha,
+            enable_post_processing=self.laf.enable_post_processing,
+        )
+        return params
 
     def fit(self, X: np.ndarray) -> ClusteringResult:
         X = self.metric.validate(X)

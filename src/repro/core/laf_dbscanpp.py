@@ -68,6 +68,8 @@ class LAFDBSCANPlusPlus(Clusterer):
         and produces identical results.
     """
 
+    algo_name = "laf-dbscan++"
+
     def __init__(
         self,
         eps: float,
@@ -94,6 +96,16 @@ class LAFDBSCANPlusPlus(Clusterer):
             enable_post_processing=enable_post_processing,
             seed=self._rng,
         )
+
+    def model_params(self) -> dict:
+        params = super().model_params()
+        params.update(
+            p=self.p,
+            assign_within_eps=self.assign_within_eps,
+            alpha=self.laf.alpha,
+            enable_post_processing=self.laf.enable_post_processing,
+        )
+        return params
 
     def fit(self, X: np.ndarray) -> ClusteringResult:
         X = check_unit_norm(X)

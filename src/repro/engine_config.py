@@ -130,6 +130,18 @@ class IndexSpec:
             )
         return {"name": self.name, "kwargs": dict(self.kwargs)}
 
+    def wire_dict(self) -> dict:
+        """Like :meth:`to_dict`, but records custom specs as a marker.
+
+        A saved artifact must record *that* a fit used a custom factory
+        even though the factory itself cannot cross a process boundary;
+        the persistence loader turns the marker into an actionable
+        error instead of silently substituting a default backend.
+        """
+        if self.factory is not None:
+            return {"name": _CUSTOM}
+        return self.to_dict()
+
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "IndexSpec":
         """Inverse of :meth:`to_dict`; unknown keys are an error."""
@@ -240,6 +252,18 @@ class ExecutionConfig:
             "query_block": int(self.query_block),
             "cache_eviction": self.cache_eviction,
         }
+
+    def wire_dict(self) -> dict:
+        """Like :meth:`to_dict`, but custom index specs become markers.
+
+        Used by the persistence layer, which must faithfully record an
+        execution policy that contained a non-serializable custom
+        factory (so load can fail with an actionable message rather
+        than misreport the policy the model was fit under).
+        """
+        payload = dataclasses.replace(self, index=None).to_dict()
+        payload["index"] = None if self.index is None else self.index.wire_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "ExecutionConfig":

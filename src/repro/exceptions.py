@@ -32,6 +32,16 @@ class EstimatorError(ReproError, RuntimeError):
     """A cardinality estimator failed to train or predict."""
 
 
+class PersistenceError(ReproError, RuntimeError):
+    """A saved artifact could not be written or read back.
+
+    Raised for corrupt or truncated array files, checksum mismatches,
+    unknown or newer format versions, manifest drift, and artifacts
+    whose execution policy cannot be reconstructed (e.g. a model fit
+    with a custom ``IndexSpec`` factory).
+    """
+
+
 class IndexError_(ReproError, RuntimeError):
     """A spatial index reached an inconsistent internal state.
 

@@ -144,6 +144,20 @@ class BruteForceIndex(NeighborIndex):
             dists.extend(np.array(r) for r in row_d)
         return indices, dists
 
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        self._require_built()
+        return {"points": self._points}
+
+    def from_arrays(self, arrays: dict) -> "BruteForceIndex":
+        # Rows were validated at the original build; reattach without
+        # copying so a memory-mapped matrix stays a map.
+        self._points = np.asarray(arrays["points"], dtype=np.float64)
+        return self
+
     # Backwards-compatible aliases for the pre-engine batched names.
     def range_count_many(self, Q: np.ndarray, eps: float) -> np.ndarray:
         """Alias of :meth:`batch_range_count` (pre-engine name)."""

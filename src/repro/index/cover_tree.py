@@ -151,9 +151,12 @@ class CoverTree(NeighborIndex):
         self._np_child_flat = np.array(
             [c for children in self._node_children for c in children], dtype=np.int64
         )
-        # Squared norms of each node's point, for the pairwise distance path.
-        node_pts = self._points[self._np_point]
-        self._np_point_sq = np.einsum("ij,ij->i", node_pts, node_pts)
+        # Squared norms of each node's point, for the pairwise distance
+        # path. Norms are computed per point and gathered per node so a
+        # memory-mapped point matrix is streamed once instead of being
+        # copied through an (n_nodes, dim) gather.
+        point_sq = np.einsum("ij,ij->i", self._points, self._points)
+        self._np_point_sq = point_sq[self._np_point]
 
     def range_query(self, q: np.ndarray, eps: float) -> np.ndarray:
         """Exact range query; ``eps`` is a cosine-distance threshold.
@@ -394,6 +397,38 @@ class CoverTree(NeighborIndex):
         idx = np.array([i for _, i in ordered], dtype=np.int64)
         d_euc = np.array([d for d, _ in ordered])
         return idx, (d_euc**2) / 2.0
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        self._require_built()
+        return {
+            "points": self._points,
+            "node_point": self._np_point,
+            "node_level": np.asarray(self._node_level, dtype=np.int64),
+            "child_offsets": self._np_child_offsets,
+            "child_flat": self._np_child_flat,
+        }
+
+    def from_arrays(self, arrays: dict) -> "CoverTree":
+        self._points = np.asarray(arrays["points"], dtype=np.float64)
+        node_point = np.asarray(arrays["node_point"], dtype=np.int64)
+        node_level = np.asarray(arrays["node_level"], dtype=np.int64)
+        offsets = np.asarray(arrays["child_offsets"], dtype=np.int64)
+        flat = np.asarray(arrays["child_flat"], dtype=np.int64)
+        # The scalar query/insert paths walk Python lists; restore them,
+        # then _freeze() rebuilds the vectorized arrays from the same
+        # state — so batched answers match the pre-save ones exactly.
+        self._node_point = node_point.tolist()
+        self._node_level = node_level.tolist()
+        self._node_children = [
+            flat[offsets[i] : offsets[i + 1]].tolist() for i in range(node_point.size)
+        ]
+        self._root = 0 if node_point.size else None
+        self._freeze()
+        return self
 
     # ------------------------------------------------------------------
     # Introspection (used by tests)

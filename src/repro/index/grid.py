@@ -257,6 +257,56 @@ class GridIndex:
                 )
         return results
 
+    # ------------------------------------------------------------------
+    # Persistence (same contract as NeighborIndex.to_arrays/from_arrays;
+    # the grid is not a subclass but persists as a registered backend)
+    # ------------------------------------------------------------------
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        self._require_built()
+        sizes = np.array([m.size for m in self._cell_points], dtype=np.int64)
+        indptr = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(sizes)])
+        if self._cell_points:
+            index_flat = np.concatenate(self._cell_points)
+        else:
+            index_flat = np.empty(0, dtype=np.int64)
+        return {
+            "points": self._points,
+            "cell_of_point": self._cell_of_point,
+            "cell_indptr": indptr,
+            "cell_index_flat": index_flat,
+            "cell_centers": self._cell_centers,
+            "cell_radii": self._cell_radii,
+        }
+
+    def from_arrays(self, arrays: dict) -> "GridIndex":
+        points = np.asarray(arrays["points"], dtype=np.float64)
+        indptr = np.asarray(arrays["cell_indptr"], dtype=np.int64)
+        flat = np.asarray(arrays["cell_index_flat"], dtype=np.int64)
+        self._points = points
+        self._side = self._r_euc / math.sqrt(points.shape[1])
+        self._cell_of_point = np.asarray(arrays["cell_of_point"], dtype=np.int64)
+        self._cell_points = [
+            flat[indptr[i] : indptr[i + 1]] for i in range(indptr.size - 1)
+        ]
+        self._cell_centers = np.asarray(arrays["cell_centers"], dtype=np.float64)
+        self._cell_radii = np.asarray(arrays["cell_radii"], dtype=np.float64)
+        return self
+
+    def save(self, path) -> "GridIndex":
+        """Persist the built grid; see :func:`repro.persistence.save_index`."""
+        from repro.persistence import save_index
+
+        save_index(self, path)
+        return self
+
+    @classmethod
+    def load(cls, path, *, mmap: bool = True, verify: bool = True) -> "GridIndex":
+        """Load a grid saved with :meth:`save`, memory-mapped by default."""
+        from repro.persistence import _check_loaded_type, load_index
+
+        return _check_loaded_type(load_index(path, mmap=mmap, verify=verify), cls, path)
+
     def cells_within(self, cell: int, max_dist_euc: float) -> np.ndarray:
         """Cells whose member balls could contain a point within
         ``max_dist_euc`` (Euclidean) of some point in ``cell``.

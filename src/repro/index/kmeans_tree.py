@@ -421,3 +421,70 @@ class KMeansTree(NeighborIndex):
         return np.array(
             [row.size for row in self.batch_range_query(Q, eps)], dtype=np.int64
         )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    #
+    # The tree is stored flat in the _freeze() BFS order: per-node
+    # center/radius/is_leaf plus the children CSR, and the leaves'
+    # point indices and contiguous point copies concatenated in the
+    # same order. Reconstruction walks node ids ascending, so the
+    # post-load _freeze() assigns every node its saved id back and the
+    # vectorized arrays come out identical to the pre-save ones.
+    # ------------------------------------------------------------------
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        self._require_built()
+        leaves = [n for n in self._np_nodes if n.is_leaf]
+        leaf_sizes = np.array([n.point_indices.size for n in leaves], dtype=np.int64)
+        leaf_indptr = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(leaf_sizes)]
+        )
+        if leaves:
+            leaf_index_flat = np.concatenate([n.point_indices for n in leaves])
+            leaf_points_flat = np.concatenate([n.leaf_points for n in leaves])
+        else:
+            leaf_index_flat = np.empty(0, dtype=np.int64)
+            leaf_points_flat = np.empty((0, self._points.shape[1]))
+        return {
+            "points": self._points,
+            "centers": self._np_centers,
+            "radius": self._np_radius,
+            "is_leaf": self._np_is_leaf,
+            "child_offsets": self._np_child_offsets,
+            "child_flat": self._np_child_flat,
+            "leaf_indptr": leaf_indptr,
+            "leaf_index_flat": leaf_index_flat,
+            "leaf_points_flat": leaf_points_flat,
+        }
+
+    def from_arrays(self, arrays: dict) -> "KMeansTree":
+        self._points = np.asarray(arrays["points"], dtype=np.float64)
+        centers = np.asarray(arrays["centers"], dtype=np.float64)
+        radius = np.asarray(arrays["radius"], dtype=np.float64)
+        is_leaf = np.asarray(arrays["is_leaf"], dtype=bool)
+        child_offsets = np.asarray(arrays["child_offsets"], dtype=np.int64)
+        child_flat = np.asarray(arrays["child_flat"], dtype=np.int64)
+        leaf_indptr = np.asarray(arrays["leaf_indptr"], dtype=np.int64)
+        leaf_index_flat = np.asarray(arrays["leaf_index_flat"], dtype=np.int64)
+        leaf_points_flat = np.asarray(arrays["leaf_points_flat"], dtype=np.float64)
+        n_nodes = centers.shape[0]
+        nodes = [_Node(centers[i]) for i in range(n_nodes)]
+        next_leaf = 0
+        for i, node in enumerate(nodes):
+            node.radius = float(radius[i])
+            if is_leaf[i]:
+                lo, hi = leaf_indptr[next_leaf], leaf_indptr[next_leaf + 1]
+                next_leaf += 1
+                # Contiguous slices of the flats: a memory-mapped leaf
+                # block is served straight from the map, no copy.
+                node.point_indices = leaf_index_flat[lo:hi]
+                node.leaf_points = leaf_points_flat[lo:hi]
+            else:
+                kids = child_flat[child_offsets[i] : child_offsets[i + 1]]
+                node.children = [nodes[int(j)] for j in kids]
+                node.child_centers = centers[kids]
+        self._root = nodes[0] if nodes else None
+        self._n_leaves = int(np.count_nonzero(is_leaf))
+        self._freeze()
+        return self

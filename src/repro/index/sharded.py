@@ -837,6 +837,57 @@ class ShardedIndex(NeighborIndex):
         return self._executor_obj
 
     # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def shard_indexes(self) -> dict[int, object]:
+        """The built per-shard inner indexes, keyed by live shard id.
+
+        Only the serial and thread executors hold their indexes in this
+        process; the process executor's live in worker memory, so a
+        process-sharded index cannot be serialized from the parent —
+        save before wiring the pool, or rebuild with another executor.
+        """
+        executor = self._require_executor()
+        indexes = getattr(executor, "_indexes", None)
+        if indexes is None:
+            from repro.exceptions import PersistenceError
+
+            raise PersistenceError(
+                "a process-sharded index keeps its shard indexes in "
+                "worker memory and cannot be serialized from the parent; "
+                "build with executor='serial' or 'thread' to save, then "
+                "load with any executor"
+            )
+        return dict(indexes)
+
+    def _attach_loaded(self, points, offsets, live, indexes) -> "ShardedIndex":
+        """Adopt reloaded per-shard state (repro.persistence's seam).
+
+        ``points`` is typically a read-only memory map and is adopted
+        as-is — reattaching never copies the matrix. The process
+        executor cannot be reconstructed from artifacts (its workers
+        rebuild from raw points, defeating the point of persisting the
+        built trees), so a saved process-sharded spec reattaches on the
+        thread executor instead.
+        """
+        self.close()
+        self._points = points
+        self._parent_builds = 0
+        self._stats_snapshot = {}
+        self._offsets = np.asarray(offsets, dtype=np.int64)
+        self._live = [(int(s), int(lo), int(hi)) for s, lo, hi in live]
+        indexes = dict(indexes)
+        if self.executor in ("thread", "process") and self._live:
+            n_workers = self.n_workers or max(
+                1, min(len(self._live), os.cpu_count() or 1)
+            )
+            self._executor_obj = _ThreadExecutor(indexes, n_workers)
+        else:
+            self._executor_obj = _SerialExecutor(indexes)
+        return self
+
+    # ------------------------------------------------------------------
     # Batched queries (the native forms; scalars route through them)
     # ------------------------------------------------------------------
 

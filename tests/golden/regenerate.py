@@ -1,0 +1,54 @@
+"""Regenerate the committed golden model artifact.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+Only rerun this when the artifact format version changes (bump
+``repro.persistence.FORMAT_VERSION`` first); the whole point of the
+golden files is that *today's* bytes keep loading tomorrow. The data is
+fully deterministic — fixed seeds, fixed parameters — so regeneration
+on any platform reproduces the same labels (float payloads may differ
+in the last ulp across BLAS builds, which is why the test compares
+labels, not raw bytes).
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.distances import normalize_rows
+from repro.testing import make_blobs_on_sphere
+
+HERE = Path(__file__).resolve().parent
+EPS = 0.4
+TAU = 3
+
+
+def main() -> None:
+    X, _ = make_blobs_on_sphere(8, 3, 12, seed=7)
+    queries = np.vstack(
+        [
+            X[::3],  # on-manifold queries near the blobs
+            normalize_rows(np.random.default_rng(11).normal(size=(10, 12))),
+        ]
+    )
+
+    model = repro.fit_model(X, "dbscan", eps=EPS, tau=TAU)
+    with model:
+        target = HERE / "model"
+        if target.exists():
+            shutil.rmtree(target)
+        model.save(target)
+        np.save(HERE / "queries.npy", np.ascontiguousarray(queries))
+        np.save(HERE / "expected_predict.npy", model.predict(queries))
+
+    print(f"wrote {target} ({model.n_clusters} clusters, {model.n_cores} cores)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Golden-file format stability: yesterday's bytes must keep loading.
+
+``tests/golden/model`` is a tiny fitted DBSCAN model committed to the
+repository (see ``tests/golden/regenerate.py``). Loading it — with
+checksum verification on — and reproducing the committed predictions
+proves the on-disk format is still readable, across every Python and
+numpy version CI runs. Any change that breaks these tests breaks every
+artifact users have already saved; it needs a format-version bump and a
+migration path, not a test edit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.persistence import FORMAT_NAME, FORMAT_VERSION, MANIFEST_FILENAME
+
+GOLDEN = Path(__file__).resolve().parent / "golden"
+
+
+@pytest.fixture(scope="module")
+def model():
+    loaded = repro.load_model(GOLDEN / "model")  # verify=True: full checksum pass
+    yield loaded
+    loaded.close()
+
+
+def test_manifest_is_current_format():
+    manifest = json.loads((GOLDEN / "model" / MANIFEST_FILENAME).read_text())
+    assert manifest["format"] == FORMAT_NAME
+    # If this fails, FORMAT_VERSION was bumped without regenerating the
+    # golden artifact — old-version artifacts must still load, so add a
+    # second golden model for the old version instead of replacing this one.
+    assert manifest["format_version"] == FORMAT_VERSION
+    assert manifest["kind"] == "cluster_model"
+
+
+def test_golden_model_loads_with_expected_shape(model):
+    assert model.algo == "dbscan"
+    assert model.params["eps"] == 0.4
+    assert model.params["tau"] == 3  # min cluster cardinality incl. self
+    assert model.n_points == 24
+    assert model.n_clusters == 3
+    assert model.n_cores == 24
+
+
+def test_golden_model_predicts_committed_labels(model):
+    queries = np.load(GOLDEN / "queries.npy")
+    expected = np.load(GOLDEN / "expected_predict.npy")
+    assert np.array_equal(model.predict(queries), expected)
+
+
+def test_golden_model_training_set_roundtrip(model):
+    predicted = model.predict(np.asarray(model.points))
+    cores = model.core_mask
+    assert np.array_equal(predicted[cores], model.labels[cores])
