@@ -66,9 +66,15 @@ from repro.exceptions import (
     InvalidParameterError,
     NotFittedError,
     PersistenceError,
+    RemovedAPIError,
+    RemoteExecutorError,
+    RemoteProtocolError,
+    RemoteTimeoutError,
     ReproError,
+    RetryExhaustedError,
+    WorkerUnavailableError,
 )
-from repro.index.sharded import ShardingConfig
+from repro.index.sharded import ExecutorSpec, ShardingConfig
 from repro.persistence import ClusterModel, load_index, save_index
 from repro.metrics import (
     adjusted_mutual_info,
@@ -91,6 +97,7 @@ __all__ = [
     "EstimatorError",
     "ExactCardinalityEstimator",
     "ExecutionConfig",
+    "ExecutorSpec",
     "IndexSpec",
     "InvalidParameterError",
     "KDECardinalityEstimator",
@@ -104,10 +111,16 @@ __all__ = [
     "PersistenceError",
     "RMICardinalityEstimator",
     "RadialHistogramEstimator",
+    "RemovedAPIError",
+    "RemoteExecutorError",
+    "RemoteProtocolError",
+    "RemoteTimeoutError",
     "ReproError",
+    "RetryExhaustedError",
     "RhoApproxDBSCAN",
     "SamplingCardinalityEstimator",
     "ShardingConfig",
+    "WorkerUnavailableError",
     "adjusted_mutual_info",
     "adjusted_rand_index",
     "cluster",

@@ -7,6 +7,7 @@ Usage (after ``pip install -e .``)::
     python -m repro grid      --datasets MS-50k MS-100k MS-150k
     python -m repro tradeoff  --dataset MS-150k --eps 0.5 --tau 3
     python -m repro missed    --dataset MS-150k --eps 0.55 --tau 5
+    python -m repro pool serve --workers 2
 
 Every subcommand prepares the paper's pipeline (generate -> 8:2 split ->
 train RMI on the training split) at ``--scale`` and prints the
@@ -14,9 +15,14 @@ paper-shaped table; ``--json PATH`` additionally writes the rows.
 
 Execution flags (``--index``, ``--per-point``, ``--engine-block``,
 ``--shards`` / ``--shard-executor`` / ``--shard-workers`` /
-``--shard-query-block``) all map into one
+``--shard-query-block`` / ``--pool-address``) all map into one
 :class:`~repro.engine_config.ExecutionConfig` threaded through the
 experiment functions — no global state is installed.
+
+``pool serve`` runs a fleet of local pool workers; any other invocation
+on any machine that can reach them may then pass
+``--shards N --pool-address host:port [--pool-address ...]`` to fan its
+sharded range queries out to the fleet's warm shard indexes.
 """
 
 from __future__ import annotations
@@ -37,7 +43,12 @@ from repro.experiments.tradeoff import (
     sweep_laf_dbscanpp,
 )
 from repro.experiments.workloads import prepare_workloads
-from repro.index.sharded import EXECUTOR_NAMES, INNER_BACKENDS, ShardingConfig
+from repro.index.sharded import (
+    INNER_BACKENDS,
+    ExecutorSpec,
+    ShardingConfig,
+    registered_executors,
+)
 
 __all__ = ["main", "build_parser", "execution_from_args"]
 
@@ -99,9 +110,10 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--shard-executor",
-            choices=EXECUTOR_NAMES,
-            default="serial",
-            help="how shard queries execute (default: serial)",
+            choices=registered_executors(),
+            default=None,
+            help="how shard queries execute (default: serial; 'remote' "
+            "needs --pool-address)",
         )
         p.add_argument(
             "--shard-workers",
@@ -115,6 +127,14 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="query rows fanned out per shard-executor round "
             "(bounds per-task pickle size and merge memory)",
+        )
+        p.add_argument(
+            "--pool-address",
+            action="append",
+            default=None,
+            metavar="HOST:PORT",
+            help="a pool worker from `repro pool serve` (repeat for a "
+            "fleet; implies --shard-executor remote)",
         )
 
     p = sub.add_parser("quality", help="Table 3/5: ARI & AMI of all methods")
@@ -160,6 +180,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="artifact directory for the fitted model (see docs/persistence.md)",
     )
 
+    p = sub.add_parser("pool", help="manage a remote shard-worker pool")
+    pool_sub = p.add_subparsers(dest="pool_command", required=True)
+    ps = pool_sub.add_parser(
+        "serve",
+        help="spawn local pool workers and serve until interrupted; "
+        "fits connect with --shards N --pool-address HOST:PORT",
+    )
+    ps.add_argument(
+        "--workers", type=_positive_int, default=2, help="worker processes"
+    )
+    ps.add_argument("--host", default="127.0.0.1", help="bind address")
+
     p = sub.add_parser(
         "predict",
         help="classify a dataset's test split against a saved model "
@@ -183,11 +215,30 @@ def execution_from_args(args) -> ExecutionConfig:
     every clusterer of the run — index backend, batching, engine block
     size and sharding are one declarative object, not ambient state.
     """
+    executor: ExecutorSpec | str | None = args.shard_executor
+    addresses = args.pool_address or []
+    if addresses:
+        if executor not in (None, "remote"):
+            raise InvalidParameterError(
+                "--pool-address implies --shard-executor remote; it cannot "
+                f"combine with --shard-executor {executor}"
+            )
+        if args.shards is None:
+            raise InvalidParameterError(
+                "--pool-address needs --shards N: remote execution fans "
+                "sharded queries out to the pool"
+            )
+        executor = ExecutorSpec("remote", {"addresses": addresses})
+    elif executor == "remote":
+        raise InvalidParameterError(
+            "--shard-executor remote needs at least one --pool-address "
+            "HOST:PORT (start workers with `repro pool serve`)"
+        )
     sharding = None
     if args.shards is not None:
         sharding_kwargs = dict(
             n_shards=args.shards,
-            executor=args.shard_executor,
+            executor="serial" if executor is None else executor,
             n_workers=args.shard_workers,
         )
         if args.shard_query_block is not None:
@@ -403,6 +454,25 @@ def _cmd_predict(args, execution: ExecutionConfig) -> list[dict]:
     ]
 
 
+def _cmd_pool_serve(args) -> int:
+    from repro.remote.pool import WorkerPool
+
+    pool = WorkerPool.spawn_local(args.workers, host=args.host)
+    for address in pool.addresses:
+        print(f"pool worker listening on {address}", flush=True)
+    flags = " ".join(f"--pool-address {a}" for a in pool.addresses)
+    print(f"connect fits with: --shards N {flags}", flush=True)
+    try:
+        # Serve until a worker exits (remote shutdown) or Ctrl-C.
+        for proc in pool._processes:
+            proc.join()
+    except KeyboardInterrupt:
+        print("\nshutting down pool workers", flush=True)
+    finally:
+        pool.shutdown()
+    return 0
+
+
 _COMMANDS = {
     "quality": _cmd_quality,
     "timing": _cmd_timing,
@@ -418,6 +488,10 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro``."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "pool":
+        # Pool management takes no execution flags: it *is* the fleet
+        # that later fits point their execution config at.
+        return _cmd_pool_serve(args)
     try:
         execution = execution_from_args(args)
     except InvalidParameterError as exc:

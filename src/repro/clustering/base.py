@@ -5,13 +5,12 @@ from __future__ import annotations
 import abc
 import contextlib
 import dataclasses
-import warnings
 
 import numpy as np
 
 from repro.distances.metric import COSINE, Metric, get_metric
 from repro.engine_config import ExecutionConfig, IndexSpec
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import InvalidParameterError, RemovedAPIError
 from repro.index.brute_force import BruteForceIndex
 from repro.index.engine import NeighborhoodCache, PerPointQueries, fresh_engine_index
 
@@ -190,34 +189,27 @@ class Clusterer(abc.ABC):
         index_factory=None,
         batch_queries: bool | None = None,
     ) -> None:
-        """Fold deprecated constructor kwargs into :attr:`execution`.
+        """Reject the retired ``index_factory=`` / ``batch_queries=`` kwargs.
 
-        Each legacy kwarg emits exactly one :class:`DeprecationWarning`
-        and overrides the corresponding :class:`ExecutionConfig` field,
-        so legacy constructions stay bit-identical to their first-class
-        equivalents.
+        The PR 5 deprecation cycle is over: the kwargs survive in the
+        constructor signatures only so that passing one raises a typed
+        :class:`~repro.exceptions.RemovedAPIError` naming the
+        :class:`ExecutionConfig` replacement (instead of an opaque
+        ``TypeError: unexpected keyword argument``).
         """
         owner = type(self).__name__
         if index_factory is not None:
-            warnings.warn(
-                f"{owner}(index_factory=...) is deprecated; pass "
+            raise RemovedAPIError(
+                f"{owner}(index_factory=...) was removed after its "
+                "deprecation cycle; pass "
                 "execution=ExecutionConfig(index=IndexSpec(name, kwargs)) "
-                "(or IndexSpec.custom(factory) for a custom backend)",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-            self.execution = dataclasses.replace(
-                self.execution, index=IndexSpec.custom(index_factory)
+                "(or IndexSpec.custom(factory) for a custom backend)"
             )
         if batch_queries is not None:
-            warnings.warn(
-                f"{owner}(batch_queries=...) is deprecated; pass "
-                "execution=ExecutionConfig(batch_queries=...)",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-            self.execution = dataclasses.replace(
-                self.execution, batch_queries=bool(batch_queries)
+            raise RemovedAPIError(
+                f"{owner}(batch_queries=...) was removed after its "
+                "deprecation cycle; pass "
+                "execution=ExecutionConfig(batch_queries=...)"
             )
 
     def _default_index(self):

@@ -174,13 +174,12 @@ class ExecutionConfig:
         its grid and always uses it).
     sharding:
         Optional :class:`~repro.index.sharded.ShardingConfig`: fan range
-        queries across row shards (serial / thread / process executors).
-        Threaded explicitly into the engine — no global state — so
-        concurrent fits with different sharding cannot interfere. The
-        default ``None`` means *unset*: a fit running inside the
-        deprecated thread-local ``sharded_queries(...)`` shim then still
-        honors that legacy ambient scope. Pass ``False`` to force
-        unsharded execution regardless of any ambient shim.
+        queries across row shards (any registered executor — serial,
+        thread, process, remote). Threaded explicitly into the engine —
+        no global state — so concurrent fits with different sharding
+        cannot interfere. ``None`` (the default) and ``False`` both mean
+        unsharded execution; the distinction survives the wire format
+        because ``False`` records an explicit opt-out.
     batch_queries:
         True (default) routes neighborhood computation through the
         batched engine; False keeps the per-point reference loop the
@@ -243,6 +242,7 @@ class ExecutionConfig:
         """JSON-safe representation (the remote-worker wire format)."""
         if isinstance(self.sharding, ShardingConfig):
             sharding = {f: getattr(self.sharding, f) for f in _SHARDING_FIELDS}
+            sharding["executor"] = self.sharding.executor.wire_value()
         else:
             sharding = self.sharding  # None (unset) or False (disabled)
         return {

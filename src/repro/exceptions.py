@@ -48,3 +48,47 @@ class IndexError_(ReproError, RuntimeError):
     Named with a trailing underscore to avoid shadowing the builtin
     :class:`IndexError`.
     """
+
+
+class RemovedAPIError(ReproError, TypeError):
+    """A retired legacy entry point was called.
+
+    The PR 5 deprecation shims (``set_sharding`` / ``sharded_queries``
+    and the ``index_factory=`` / ``batch_queries=`` constructor kwargs)
+    completed their cycle: calling them now raises this error, whose
+    message names the :class:`~repro.engine_config.ExecutionConfig`
+    replacement.
+    """
+
+
+class RemoteExecutorError(ReproError, RuntimeError):
+    """Base class for remote worker-pool failures.
+
+    Every error the remote shard executor raises intentionally derives
+    from this, so hosts can treat "the fleet misbehaved" as one
+    category distinct from local parameter/persistence errors.
+    """
+
+
+class RemoteProtocolError(RemoteExecutorError):
+    """A pool peer violated the length-prefixed wire protocol.
+
+    Typical causes: a non-worker endpoint at the configured address,
+    version skew between client and worker, or a truncated frame.
+    """
+
+
+class RemoteTimeoutError(RemoteExecutorError):
+    """A pool call did not complete within its per-call timeout."""
+
+
+class WorkerUnavailableError(RemoteExecutorError):
+    """A worker could not be reached (dead, or never listening)."""
+
+
+class RetryExhaustedError(RemoteExecutorError):
+    """A pool call kept failing after every configured retry.
+
+    Raised when rebalancing ran out of live workers or the retry budget;
+    the message records how many rebalances were attempted.
+    """

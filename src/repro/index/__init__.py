@@ -31,8 +31,11 @@ from repro.index.engine import NeighborhoodCache
 from repro.index.grid import GridIndex
 from repro.index.kmeans_tree import KMeansTree
 from repro.index.sharded import (
+    ExecutorSpec,
     ShardedIndex,
     ShardingConfig,
+    register_executor,
+    registered_executors,
     set_sharding,
     sharded_queries,
     sharding_config,
@@ -41,12 +44,15 @@ from repro.index.sharded import (
 __all__ = [
     "BruteForceIndex",
     "CoverTree",
+    "ExecutorSpec",
     "GridIndex",
     "KMeansTree",
     "NeighborIndex",
     "NeighborhoodCache",
     "ShardedIndex",
     "ShardingConfig",
+    "register_executor",
+    "registered_executors",
     "set_sharding",
     "sharded_queries",
     "sharding_config",

@@ -5,11 +5,11 @@ fits one inner index per shard (any registered backend: brute force,
 cover tree, k-means tree, grid), and answers the batched query API by
 fanning query blocks across the shards through a pluggable executor:
 
-* ``"serial"``  — one shard after another in the calling process (the
+* ``serial``  — one shard after another in the calling process (the
   reference executor every other one is differentially tested against);
-* ``"thread"``  — a thread pool; NumPy releases the GIL inside BLAS, so
+* ``thread``  — a thread pool; NumPy releases the GIL inside BLAS, so
   shard GEMMs genuinely overlap on multi-core machines;
-* ``"process"`` — a pool of single-process workers that attach the
+* ``process`` — a pool of single-process workers that attach the
   dataset through :mod:`multiprocessing.shared_memory` (one row-major
   float64 segment written at build time), so the data matrix is never
   pickled; each live shard is pinned to exactly one worker (stable
@@ -19,6 +19,20 @@ fanning query blocks across the shards through a pluggable executor:
   builds — never ``n_workers × n_shards`` — and when a worker dies its
   shards are rebalanced across the survivors (who rebuild just those
   shards) with the failed calls retried.
+* ``remote``  — a fleet of :mod:`repro.remote` worker processes reached
+  over a length-prefixed socket protocol, each holding its pinned
+  shards' inner indexes *warm across fits*: a second fit on the same
+  pool attaches to the cached indexes and pays zero inner builds.
+  Same affinity + rebalance protocol as ``process``, with per-call
+  timeouts and bounded retry on top.
+
+Executors are named by :class:`ExecutorSpec` — a registered value type
+(``name`` + JSON-safe ``options``) that replaces the former magic
+strings. Plain strings still work everywhere as a back-compat
+constructor path (``executor="thread"`` coerces to
+``ExecutorSpec("thread")``); unknown names raise listing the registered
+executors, and :func:`register_executor` lets external packages plug in
+new fabrics behind the same seam.
 
 Build lifecycle: an inner index is a build-once, query-many artifact.
 The serial/thread executors build all live shards eagerly in
@@ -42,12 +56,11 @@ splits, which is what the property-based tests exercise.
 The module also hosts :class:`ShardingConfig`, the declarative sharding
 spec that :class:`~repro.engine_config.ExecutionConfig` embeds and
 threads explicitly into :class:`~repro.index.engine.NeighborhoodCache` /
-:func:`resolve_engine_index` — the first-class way to shard a fit. The
-legacy :func:`set_sharding` / :func:`sharded_queries` entry points
-survive as *thread-local* deprecation shims: they still scope an ambient
-configuration for code that has not migrated, but the state lives in a
-``threading.local`` so two threads fitting concurrently with different
-configurations can no longer corrupt each other.
+:func:`resolve_engine_index` — the *only* way to shard a fit. The PR 5
+thread-local deprecation shims (:func:`set_sharding` /
+:func:`sharded_queries`) completed their cycle and now raise
+:class:`~repro.exceptions.RemovedAPIError` naming the replacement;
+there is no ambient sharding state of any scope anymore.
 
 Exactness: range queries and counts are exact for exact inner backends
 (a point's eps-neighborhood is the disjoint union of its per-shard
@@ -66,20 +79,18 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import threading
 import warnings
 import weakref
-from collections.abc import Sequence
+from collections.abc import Callable, Mapping, Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 
 import numpy as np
 
-from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.exceptions import InvalidParameterError, NotFittedError, RemovedAPIError
 from repro.index.base import NeighborIndex
 from repro.index.brute_force import BruteForceIndex
 from repro.index.cover_tree import CoverTree
@@ -89,6 +100,7 @@ from repro.index.kmeans_tree import KMeansTree
 __all__ = [
     "EXECUTOR_NAMES",
     "INNER_BACKENDS",
+    "ExecutorSpec",
     "ShardedIndex",
     "ShardingConfig",
     "backend_spec_of",
@@ -98,6 +110,8 @@ __all__ = [
     "maybe_shard",
     "merge_knn_rows",
     "merge_shard_rows",
+    "register_executor",
+    "registered_executors",
     "resolve_engine_index",
     "rows_to_csr",
     "set_sharding",
@@ -113,6 +127,9 @@ DEFAULT_QUERY_BLOCK = 2048
 #: not hang close(), which snapshots build counters before teardown).
 _STATS_TIMEOUT_S = 10.0
 
+#: The always-registered single-box executors (back-compat constant;
+#: the authoritative list is :func:`registered_executors`, which also
+#: names ``remote`` and anything added via :func:`register_executor`).
 EXECUTOR_NAMES = ("serial", "thread", "process")
 
 #: Registered inner backends, constructible by name in worker processes.
@@ -162,6 +179,166 @@ def backend_spec_of(index) -> tuple[str, dict] | None:
     if isinstance(index, GridIndex):
         return "grid", {"eps": index.eps, "rho": index.rho}
     return None
+
+
+# ----------------------------------------------------------------------
+# Executor specs and the executor registry
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ExecutorEntry:
+    """One registered executor fabric.
+
+    ``make_local`` (serial/thread style) receives the per-shard indexes
+    the parent built eagerly; ``make`` (process/remote style) receives
+    the raw dataset + shard bounds and owns building inside its workers.
+    Exactly one of the two is set.
+    """
+
+    name: str
+    normalize: Callable[[dict], dict]
+    make_local: Callable | None = None
+    make: Callable | None = None
+
+    @property
+    def local(self) -> bool:
+        return self.make_local is not None
+
+
+_EXECUTOR_REGISTRY: dict[str, _ExecutorEntry] = {}
+
+
+def register_executor(
+    name: str,
+    *,
+    normalize_options: Callable[[dict], dict] | None = None,
+    make_local: Callable | None = None,
+    make: Callable | None = None,
+) -> None:
+    """Register an executor fabric under ``name``.
+
+    Exactly one of ``make_local(indexes, n_workers)`` (the parent builds
+    the per-shard indexes eagerly and hands them over) or
+    ``make(X, bounds, inner_name, inner_kwargs, n_workers, spec)`` (the
+    executor owns building inside its workers) must be given.
+    ``normalize_options`` validates and canonicalizes the
+    :class:`ExecutorSpec` options dict (default: reject any option).
+    """
+    if (make_local is None) == (make is None):
+        raise InvalidParameterError(
+            "register_executor needs exactly one of make_local= or make="
+        )
+    _EXECUTOR_REGISTRY[name] = _ExecutorEntry(
+        name=name,
+        normalize=normalize_options or (lambda opts: _no_options(name, opts)),
+        make_local=make_local,
+        make=make,
+    )
+
+
+def registered_executors() -> tuple[str, ...]:
+    """Names of every registered executor, sorted."""
+    return tuple(sorted(_EXECUTOR_REGISTRY))
+
+
+def _no_options(name: str, options: dict) -> dict:
+    if options:
+        raise InvalidParameterError(
+            f"the {name!r} executor accepts no options; got {sorted(options)}"
+        )
+    return {}
+
+
+def _json_safe_option(value):
+    return list(value) if isinstance(value, tuple) else value
+
+
+@dataclass(frozen=True)
+class ExecutorSpec:
+    """A registered executor by name, plus its JSON-safe options.
+
+    The first-class replacement for the former magic strings: anywhere
+    that accepted ``executor="thread"`` now accepts an ``ExecutorSpec``
+    (plain strings keep working as a back-compat coercion path, and wire
+    dicts round-trip through :meth:`to_dict` / :meth:`from_dict`).
+    Unknown names raise listing the registered executors; options are
+    validated and canonicalized per executor at construction, so a spec
+    that exists is a spec that can run.
+    """
+
+    name: str
+    options: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str):
+            raise InvalidParameterError(
+                f"executor name must be a string; got {type(self.name).__name__}"
+            )
+        entry = _EXECUTOR_REGISTRY.get(self.name)
+        if entry is None:
+            raise InvalidParameterError(
+                f"unknown executor {self.name!r}; registered executors: "
+                f"{', '.join(registered_executors())}"
+            )
+        if not isinstance(self.options, Mapping):
+            raise InvalidParameterError(
+                f"executor options must be a mapping; "
+                f"got {type(self.options).__name__}"
+            )
+        object.__setattr__(self, "options", entry.normalize(dict(self.options)))
+
+    # options is a dict, which the generated __hash__ would choke on;
+    # hash the canonical sorted item view instead (values are hashable
+    # after normalization: scalars and tuples only).
+    def __hash__(self) -> int:
+        return hash((self.name, tuple(sorted(self.options.items()))))
+
+    @classmethod
+    def coerce(cls, value) -> "ExecutorSpec":
+        """Accept a spec, a bare name string, or a wire dict."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls(value)
+        if isinstance(value, Mapping):
+            return cls.from_dict(value)
+        raise InvalidParameterError(
+            "executor must be an ExecutorSpec, a registered executor name, "
+            f"or a wire dict; got {type(value).__name__}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe wire form; inverse of :meth:`from_dict`."""
+        return {
+            "name": self.name,
+            "options": {k: _json_safe_option(v) for k, v in self.options.items()},
+        }
+
+    def wire_value(self) -> "str | dict":
+        """The compact wire spelling :meth:`coerce` round-trips.
+
+        Option-free specs serialize as their bare name — byte-identical
+        to the pre-spec string wire format — optioned specs as the
+        strict :meth:`to_dict` dict.
+        """
+        return self.name if not self.options else self.to_dict()
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ExecutorSpec":
+        """Strict reconstruction from :meth:`to_dict` output."""
+        if not isinstance(data, Mapping):
+            raise InvalidParameterError(
+                f"ExecutorSpec.from_dict needs a mapping; got {type(data).__name__}"
+            )
+        unknown = set(data) - {"name", "options"}
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown ExecutorSpec keys: {sorted(unknown)}"
+            )
+        if "name" not in data:
+            raise InvalidParameterError("ExecutorSpec dict requires a 'name' key")
+        return cls(data["name"], data.get("options") or {})
 
 
 # ----------------------------------------------------------------------
@@ -651,6 +828,88 @@ class _ProcessExecutor:
 
 
 # ----------------------------------------------------------------------
+# Built-in executor registrations
+# ----------------------------------------------------------------------
+
+
+def _normalize_remote_options(options: dict) -> dict:
+    allowed = {"addresses", "timeout_s", "retries", "connect_timeout_s"}
+    unknown = set(options) - allowed
+    if unknown:
+        raise InvalidParameterError(
+            f"unknown 'remote' executor options: {sorted(unknown)}; "
+            f"allowed: {sorted(allowed)}"
+        )
+    addresses = options.get("addresses")
+    if isinstance(addresses, str) or not isinstance(addresses, Sequence):
+        raise InvalidParameterError(
+            "the 'remote' executor requires an 'addresses' option: a "
+            "sequence of 'host:port' worker endpoints "
+            "(see `repro-cli pool serve`)"
+        )
+    normalized: list[str] = []
+    for address in addresses:
+        address = str(address)
+        host, sep, port = address.rpartition(":")
+        if not sep or not host or not port.isdigit():
+            raise InvalidParameterError(
+                f"remote worker address must look like 'host:port'; "
+                f"got {address!r}"
+            )
+        normalized.append(address)
+    if not normalized:
+        raise InvalidParameterError(
+            "the 'remote' executor needs at least one worker address"
+        )
+    out: dict[str, object] = {"addresses": tuple(normalized)}
+    for key in ("timeout_s", "connect_timeout_s"):
+        if key in options:
+            value = float(options[key])
+            if not value > 0:
+                raise InvalidParameterError(f"{key} must be > 0; got {value}")
+            out[key] = value
+    if "retries" in options:
+        retries = int(options["retries"])
+        if retries < 0:
+            raise InvalidParameterError(f"retries must be >= 0; got {retries}")
+        out["retries"] = retries
+    return out
+
+
+def _make_remote_executor(X, bounds, inner_name, inner_kwargs, n_workers, spec):
+    # Imported lazily: the remote package pulls in the socket client and
+    # is only needed once a remote spec actually builds.
+    from repro.remote.pool import RemoteExecutor
+
+    return RemoteExecutor(
+        X=X,
+        shards={s: bounds[s] for s in range(len(bounds))},
+        inner_name=inner_name,
+        inner_kwargs=inner_kwargs,
+        options=spec.options,
+    )
+
+
+register_executor(
+    "serial", make_local=lambda indexes, n_workers: _SerialExecutor(indexes)
+)
+register_executor(
+    "thread", make_local=lambda indexes, n_workers: _ThreadExecutor(indexes, n_workers)
+)
+register_executor(
+    "process",
+    make=lambda X, bounds, inner_name, inner_kwargs, n_workers, spec: _ProcessExecutor(
+        X, bounds, inner_name, inner_kwargs, n_workers
+    ),
+)
+register_executor(
+    "remote",
+    normalize_options=_normalize_remote_options,
+    make=_make_remote_executor,
+)
+
+
+# ----------------------------------------------------------------------
 # The sharded index
 # ----------------------------------------------------------------------
 
@@ -673,10 +932,14 @@ class ShardedIndex(NeighborIndex):
         Number of contiguous row shards (>= 1). Empty shards (when
         ``n_shards > n_points``) are skipped.
     executor:
-        ``"serial"``, ``"thread"`` or ``"process"``.
+        An :class:`ExecutorSpec`, a registered executor name
+        (``"serial"``, ``"thread"``, ``"process"``, ``"remote"``), or a
+        spec wire dict. Stored coerced: ``self.executor`` is always an
+        :class:`ExecutorSpec`.
     n_workers:
         Pool width for the thread/process executors; defaults to
-        ``min(n_live_shards, cpu_count)``.
+        ``min(n_live_shards, cpu_count)``. The remote executor's width
+        is its address list.
     query_block:
         Query rows fanned out per executor round; bounds both the
         per-task pickle size and peak memory of the merge.
@@ -687,26 +950,23 @@ class ShardedIndex(NeighborIndex):
         inner="brute_force",
         inner_kwargs: dict | None = None,
         n_shards: int = 4,
-        executor: str = "serial",
+        executor: "ExecutorSpec | str" = "serial",
         n_workers: int | None = None,
         query_block: int = DEFAULT_QUERY_BLOCK,
     ) -> None:
         if n_shards < 1:
             raise InvalidParameterError(f"n_shards must be >= 1; got {n_shards}")
-        if executor not in EXECUTOR_NAMES:
-            raise InvalidParameterError(
-                f"executor must be one of {EXECUTOR_NAMES}; got {executor!r}"
-            )
+        executor = ExecutorSpec.coerce(executor)
         if n_workers is not None and n_workers < 1:
             raise InvalidParameterError(f"n_workers must be >= 1; got {n_workers}")
         if query_block < 1:
             raise InvalidParameterError(f"query_block must be >= 1; got {query_block}")
         if callable(inner):
-            if executor == "process":
+            if not _EXECUTOR_REGISTRY[executor.name].local:
                 raise InvalidParameterError(
-                    "the process executor rebuilds inner indexes in worker "
-                    "processes and therefore needs a registered backend "
-                    "name, not a factory callable"
+                    f"the {executor.name!r} executor rebuilds inner indexes "
+                    "in worker processes and therefore needs a registered "
+                    "backend name, not a factory callable"
                 )
         elif inner not in INNER_BACKENDS:
             raise InvalidParameterError(
@@ -752,28 +1012,26 @@ class ShardedIndex(NeighborIndex):
         n_workers = self.n_workers or max(
             1, min(len(self._live) or 1, os.cpu_count() or 1)
         )
+        entry = _EXECUTOR_REGISTRY[self.executor.name]
         if not self._live:
             # Zero live shards (empty dataset): nothing to execute, and a
             # zero-byte SharedMemory segment is illegal — every executor
             # degenerates to the task-free serial one.
             self._executor_obj = _SerialExecutor({})
-        elif self.executor == "process":
+        elif not entry.local:
             bounds = tuple((lo, hi) for _, lo, hi in self._live)
             # Re-key shard ids to positions in the live list so worker
             # bounds index directly.
             self._live = [(pos, lo, hi) for pos, (_, lo, hi) in enumerate(self._live)]
-            self._executor_obj = _ProcessExecutor(
-                X, bounds, self.inner, self.inner_kwargs, n_workers
+            self._executor_obj = entry.make(
+                X, bounds, self.inner, self.inner_kwargs, n_workers, self.executor
             )
         else:
             indexes = {
                 s: self._make_inner().build(X[lo:hi]) for s, lo, hi in self._live
             }
             self._parent_builds = len(indexes)
-            if self.executor == "thread":
-                self._executor_obj = _ThreadExecutor(indexes, n_workers)
-            else:
-                self._executor_obj = _SerialExecutor(indexes)
+            self._executor_obj = entry.make_local(indexes, n_workers)
         return self
 
     def close(self) -> None:
@@ -805,8 +1063,12 @@ class ShardedIndex(NeighborIndex):
             "shard_inner_builds": self._parent_builds,
             "shard_rebalances": 0,
         }
-        if isinstance(self._executor_obj, _ProcessExecutor):
-            snapshot = self._executor_obj.collect_stats()
+        # Duck-typed: any executor that owns building in its workers
+        # (process, remote, registered externals) reports its own
+        # counters through collect_stats().
+        collect = getattr(self._executor_obj, "collect_stats", None)
+        if collect is not None:
+            snapshot = collect()
             stats["shard_inner_builds"] = snapshot["inner_builds"]
             stats["shard_rebalances"] = snapshot["n_rebalances"]
         return stats
@@ -843,10 +1105,12 @@ class ShardedIndex(NeighborIndex):
     def shard_indexes(self) -> dict[int, object]:
         """The built per-shard inner indexes, keyed by live shard id.
 
-        Only the serial and thread executors hold their indexes in this
-        process; the process executor's live in worker memory, so a
-        process-sharded index cannot be serialized from the parent —
-        save before wiring the pool, or rebuild with another executor.
+        Only the local (serial/thread) executors hold their indexes in
+        this process; the process and remote executors' live in worker
+        memory, so they cannot be handed out from the parent.
+        (:func:`repro.persistence.save_index` no longer needs them — it
+        rebuilds per-shard indexes parent-side when serializing a
+        worker-held executor.)
         """
         executor = self._require_executor()
         indexes = getattr(executor, "_indexes", None)
@@ -854,14 +1118,15 @@ class ShardedIndex(NeighborIndex):
             from repro.exceptions import PersistenceError
 
             raise PersistenceError(
-                "a process-sharded index keeps its shard indexes in "
-                "worker memory and cannot be serialized from the parent; "
-                "build with executor='serial' or 'thread' to save, then "
-                "load with any executor"
+                f"a {self.executor.name!r}-sharded index keeps its shard "
+                "indexes in worker memory; they cannot be handed out from "
+                "the parent process"
             )
         return dict(indexes)
 
-    def _attach_loaded(self, points, offsets, live, indexes) -> "ShardedIndex":
+    def _attach_loaded(
+        self, points, offsets, live, indexes, artifact_path=None
+    ) -> "ShardedIndex":
         """Adopt reloaded per-shard state (repro.persistence's seam).
 
         ``points`` is typically a read-only memory map and is adopted
@@ -869,7 +1134,11 @@ class ShardedIndex(NeighborIndex):
         executor cannot be reconstructed from artifacts (its workers
         rebuild from raw points, defeating the point of persisting the
         built trees), so a saved process-sharded spec reattaches on the
-        thread executor instead.
+        thread executor instead. A remote spec reattaches through the
+        pool: ``artifact_path`` travels to the workers, which
+        :func:`~repro.persistence.load_index` their pinned shards from
+        the shared filesystem (``indexes`` may then be None — nothing is
+        deserialized parent-side).
         """
         self.close()
         self._points = points
@@ -877,8 +1146,21 @@ class ShardedIndex(NeighborIndex):
         self._stats_snapshot = {}
         self._offsets = np.asarray(offsets, dtype=np.int64)
         self._live = [(int(s), int(lo), int(hi)) for s, lo, hi in live]
+        name = self.executor.name
+        if name == "remote" and self._live:
+            from repro.remote.pool import RemoteExecutor
+
+            self._executor_obj = RemoteExecutor(
+                X=np.asarray(points, dtype=np.float64),
+                shards={s: (lo, hi) for s, lo, hi in self._live},
+                inner_name=self.inner,
+                inner_kwargs=self.inner_kwargs,
+                options=self.executor.options,
+                artifact_path=artifact_path,
+            )
+            return self
         indexes = dict(indexes)
-        if self.executor in ("thread", "process") and self._live:
+        if name in ("thread", "process") and self._live:
             n_workers = self.n_workers or max(
                 1, min(len(self._live), os.cpu_count() or 1)
             )
@@ -990,20 +1272,23 @@ class ShardedIndex(NeighborIndex):
 
 @dataclass(frozen=True)
 class ShardingConfig:
-    """How :class:`~repro.index.engine.NeighborhoodCache` shards queries."""
+    """How :class:`~repro.index.engine.NeighborhoodCache` shards queries.
+
+    ``executor`` accepts an :class:`ExecutorSpec`, a registered name
+    string, or a spec wire dict, and is stored coerced to an
+    :class:`ExecutorSpec` — so configs compare, hash, and serialize on
+    the canonical form regardless of how they were spelled.
+    """
 
     n_shards: int = 4
-    executor: str = "serial"
+    executor: "ExecutorSpec | str" = "serial"
     n_workers: int | None = None
     query_block: int = DEFAULT_QUERY_BLOCK
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
             raise InvalidParameterError(f"n_shards must be >= 1; got {self.n_shards}")
-        if self.executor not in EXECUTOR_NAMES:
-            raise InvalidParameterError(
-                f"executor must be one of {EXECUTOR_NAMES}; got {self.executor!r}"
-            )
+        object.__setattr__(self, "executor", ExecutorSpec.coerce(self.executor))
         if self.n_workers is not None and self.n_workers < 1:
             raise InvalidParameterError(f"n_workers must be >= 1; got {self.n_workers}")
         if self.query_block < 1:
@@ -1023,94 +1308,49 @@ class ShardingConfig:
         )
 
 
-# Thread-local home of the legacy ambient configuration. There is no
-# module-level mutable config anymore: the first-class path threads a
-# ShardingConfig explicitly (ExecutionConfig -> NeighborhoodCache), and
-# the deprecation shims below scope per-thread state only.
-_SHARDING_STATE = threading.local()
+# The PR 5 thread-local deprecation shims completed their cycle: there
+# is no ambient sharding state at all anymore. The entry points survive
+# only to raise a typed error naming the ExecutionConfig replacement.
 
 
-def _install_sharding(config: ShardingConfig | None) -> ShardingConfig | None:
-    """Swap this thread's ambient config; returns the previous one."""
-    if config is not None and not isinstance(config, ShardingConfig):
-        raise InvalidParameterError(
-            f"config must be a ShardingConfig or None; got {type(config).__name__}"
-        )
-    previous = getattr(_SHARDING_STATE, "config", None)
-    _SHARDING_STATE.config = config
-    return previous
+def set_sharding(config=None):
+    """Removed: there is no ambient sharding state to install.
 
-
-def set_sharding(config: ShardingConfig | None) -> ShardingConfig | None:
-    """Deprecated: install (or clear, with None) this thread's config.
-
-    .. deprecated::
-        Pass an :class:`~repro.engine_config.ExecutionConfig` with a
-        ``sharding=ShardingConfig(...)`` to the clusterer (or to
-        :func:`repro.cluster`) instead. The shim scopes *thread-local*
-        state — concurrent fits in other threads are unaffected.
-
-    Returns the previous configuration so callers can restore it.
+    Raises :class:`~repro.exceptions.RemovedAPIError` — pass an
+    :class:`~repro.engine_config.ExecutionConfig` with
+    ``sharding=ShardingConfig(...)`` to the clusterer (or to
+    :func:`repro.cluster`) instead.
     """
-    warnings.warn(
-        "set_sharding() is deprecated; pass "
+    raise RemovedAPIError(
+        "set_sharding() was removed after its deprecation cycle; pass "
         "ExecutionConfig(sharding=ShardingConfig(...)) to the clusterer "
-        "instead (the shim now scopes thread-local state only)",
-        DeprecationWarning,
-        stacklevel=2,
+        "(or repro.cluster) instead"
     )
-    return _install_sharding(config)
 
 
-def sharding_config() -> ShardingConfig | None:
-    """This thread's ambient sharding configuration (None when unset).
+def sharding_config() -> None:
+    """Always None: the ambient thread-local sharding scope is gone.
 
-    Only the deprecation shims install one; execution configured through
-    :class:`~repro.engine_config.ExecutionConfig` never touches it.
+    Kept so hosts probing for ambient state keep working; execution is
+    configured exclusively through
+    :class:`~repro.engine_config.ExecutionConfig`.
     """
-    return getattr(_SHARDING_STATE, "config", None)
+    return None
 
 
-@contextmanager
-def sharded_queries(
-    config: ShardingConfig | None = None,
-    *,
-    n_shards: int = 4,
-    executor: str = "serial",
-    n_workers: int | None = None,
-    query_block: int = DEFAULT_QUERY_BLOCK,
-):
-    """Deprecated: scope a thread-local sharding config to a ``with`` block.
+def sharded_queries(config=None, **fields):
+    """Removed: there is no ambient sharding scope to enter.
 
-    .. deprecated::
-        Pass an :class:`~repro.engine_config.ExecutionConfig` with a
-        ``sharding=ShardingConfig(...)`` to the clusterer (or to
-        :func:`repro.cluster`) instead.
-
-    Pass a prebuilt :class:`ShardingConfig`, or the keyword fields of
-    one. The previous configuration is restored on exit even when the
-    body raises. The state is thread-local: fits running in other
-    threads (with their own ``ExecutionConfig``) are unaffected.
+    Raises :class:`~repro.exceptions.RemovedAPIError` — pass an
+    :class:`~repro.engine_config.ExecutionConfig` with
+    ``sharding=ShardingConfig(...)`` to the clusterer (or to
+    :func:`repro.cluster`) instead.
     """
-    warnings.warn(
-        "sharded_queries() is deprecated; pass "
+    raise RemovedAPIError(
+        "sharded_queries() was removed after its deprecation cycle; pass "
         "ExecutionConfig(sharding=ShardingConfig(...)) to the clusterer "
-        "instead (the shim now scopes thread-local state only)",
-        DeprecationWarning,
-        stacklevel=3,
+        "(or repro.cluster) instead"
     )
-    if config is None:
-        config = ShardingConfig(
-            n_shards=n_shards,
-            executor=executor,
-            n_workers=n_workers,
-            query_block=query_block,
-        )
-    previous = _install_sharding(config)
-    try:
-        yield config
-    finally:
-        _install_sharding(previous)
 
 
 def maybe_shard(index, config: ShardingConfig | None = None):
@@ -1131,13 +1371,11 @@ def maybe_shard(index, config: ShardingConfig | None = None):
     with a :class:`RuntimeWarning` naming the reason, never silently.
 
     ``config`` follows the :class:`~repro.engine_config.ExecutionConfig`
-    convention: None means *unset* (fall back to the thread-local shim
-    scope, if any) and ``False`` means *explicitly disabled* (never
-    shard, shim or not).
+    convention: both None (unset) and ``False`` (explicitly disabled)
+    mean no sharding — with the ambient thread-local scope retired,
+    there is nothing left for *unset* to fall back to.
     """
-    if config is None:
-        config = sharding_config()
-    elif config is False:
+    if config is False:
         config = None
     if config is None or isinstance(index, ShardedIndex):
         return index
@@ -1197,19 +1435,13 @@ def resolve_engine_index(index, X: np.ndarray, config: ShardingConfig | None = N
     object the host handed over — and the host should treat it as the
     engine's to ``close()``; only a fitted index passed through
     untouched stays the caller's (``owned`` False). ``config`` is a
-    :class:`ShardingConfig`, None (unset: the thread-local shim scope
-    applies, if any) or ``False`` (explicitly disabled).
+    :class:`ShardingConfig`, or None / ``False`` for no sharding.
     """
-    if config is None:
-        config = sharding_config()
-    elif config is False:
+    if config is False:
         config = None
     built = getattr(index, "is_built", None)
     if built is None or built:
-        # config is fully resolved here; hand maybe_shard the explicit
-        # disabled marker instead of None, which would re-consult the
-        # thread-local shim scope.
-        wrapped = maybe_shard(index, config if config is not None else False)
+        wrapped = maybe_shard(index, config)
         return wrapped, wrapped is not index
     if isinstance(index, ShardedIndex):
         return index.build(X), True

@@ -50,6 +50,7 @@ __all__ = [
     "ClusterModel",
     "load_index",
     "load_model",
+    "load_shard_index",
     "read_manifest",
     "save_index",
 ]
@@ -287,7 +288,9 @@ def save_index(index, path: str | Path) -> Path:
     )
 
 
-def load_index(path: str | Path, *, mmap: bool = True, verify: bool = True):
+def load_index(
+    path: str | Path, *, mmap: bool = True, verify: bool = True, executor=None
+):
     """Load a saved index, reattaching arrays via ``np.load(mmap_mode="r")``.
 
     The inverse of :func:`save_index`: returns a query-ready backend of
@@ -295,11 +298,23 @@ def load_index(path: str | Path, *, mmap: bool = True, verify: bool = True):
     worker reattaching a shard artifact never copies the data. Pass
     ``verify=False`` to skip the sha256 pass (size/dtype/shape checks
     always run); ``mmap=False`` reads the arrays into RAM instead.
+
+    ``executor`` (sharded artifacts only) overrides the executor spec
+    recorded at save time — an :class:`~repro.index.sharded.ExecutorSpec`,
+    a registered name, or a wire dict — so one artifact can reattach
+    serially on a laptop or onto a worker pool without resaving.
     """
     manifest = read_manifest(path)
     kind = manifest["kind"]
     if kind == KIND_SHARDED_INDEX:
-        return _load_sharded(Path(path), manifest, mmap=mmap, verify=verify)
+        return _load_sharded(
+            Path(path), manifest, mmap=mmap, verify=verify, executor=executor
+        )
+    if executor is not None:
+        raise PersistenceError(
+            f"artifact at {path} is not sharded; the executor= override "
+            "only applies to sharded artifacts"
+        )
     if kind != KIND_INDEX:
         raise PersistenceError(
             f"artifact at {path} has kind {kind!r}; expected an index "
@@ -348,7 +363,18 @@ def _save_sharded(index, path: str | Path) -> Path:
     only its backend's structural arrays, and the loader injects the
     mmap'd row slice ``points[lo:hi]`` back into each shard — so neither
     disk nor a reattaching process ever holds a second copy of the data.
+
+    Works under *any* executor: the local (serial/thread) executors hand
+    their built shard indexes over directly, while a worker-held
+    executor (process/remote) keeps its indexes out of reach of the
+    parent — those shards are rebuilt parent-side one at a time for
+    serialization (deterministic: registered backends reconstruct
+    bit-identically from the same rows and spec). The executor spec is
+    recorded in the artifact, so loading reattaches under the saved
+    topology by default — or any other via ``load_index(executor=...)``.
     """
+    from repro.index.sharded import make_inner_backend
+
     index._require_built()
     if callable(index.inner):
         raise PersistenceError(
@@ -356,11 +382,21 @@ def _save_sharded(index, path: str | Path) -> Path:
             "serializable inner spec; use a registered backend name to "
             "make it saveable"
         )
-    shard_indexes = index.shard_indexes()
+    local_indexes = getattr(index._require_executor(), "_indexes", None)
+    points = index.points
     path = Path(path)
     live = [[int(s), int(lo), int(hi)] for s, lo, hi in index._live]
     for s, lo, hi in live:
-        inner_arrays = shard_indexes[s].to_arrays()
+        if local_indexes is not None:
+            shard_index = local_indexes[s]
+        else:
+            # Worker-held executor: the parent rebuilds this one shard
+            # from its rows (and drops it before the next — peak memory
+            # is one shard index, not n_shards of them).
+            shard_index = make_inner_backend(index.inner, index.inner_kwargs).build(
+                np.ascontiguousarray(points[lo:hi])
+            )
+        inner_arrays = shard_index.to_arrays()
         inner_arrays.pop("points")  # stored once at the top level
         write_artifact(
             _shard_dir(path, s),
@@ -372,12 +408,12 @@ def _save_sharded(index, path: str | Path) -> Path:
     return write_artifact(
         path,
         KIND_SHARDED_INDEX,
-        {"points": index.points},
+        {"points": points},
         spec={
             "inner": index.inner,
             "inner_kwargs": dict(index.inner_kwargs),
             "n_shards": index.n_shards,
-            "executor": index.executor,
+            "executor": index.executor.wire_value(),
             "n_workers": index.n_workers,
             "query_block": index.query_block,
         },
@@ -385,8 +421,10 @@ def _save_sharded(index, path: str | Path) -> Path:
     )
 
 
-def _load_sharded(path: Path, manifest: Mapping, *, mmap: bool, verify: bool):
-    from repro.index.sharded import ShardedIndex
+def _load_sharded(
+    path: Path, manifest: Mapping, *, mmap: bool, verify: bool, executor=None
+):
+    from repro.index.sharded import ExecutorSpec, ShardedIndex
 
     spec = manifest["spec"]
     for key in ("inner", "inner_kwargs", "n_shards", "executor", "query_block"):
@@ -409,6 +447,29 @@ def _load_sharded(path: Path, manifest: Mapping, *, mmap: bool, verify: bool):
         raise PersistenceError(
             f"sharded artifact at {path} has malformed shard metadata: {exc}"
         ) from exc
+    try:
+        executor_spec = ExecutorSpec.coerce(
+            spec["executor"] if executor is None else executor
+        )
+        out = ShardedIndex(
+            inner=str(spec["inner"]),
+            inner_kwargs=dict(spec["inner_kwargs"]),
+            n_shards=int(spec["n_shards"]),
+            executor=executor_spec,
+            n_workers=spec.get("n_workers"),
+            query_block=int(spec["query_block"]),
+        )
+    except (InvalidParameterError, TypeError, ValueError) as exc:
+        raise PersistenceError(
+            f"cannot reconstruct the ShardedIndex spec of {path}: {exc}"
+        ) from exc
+    if executor_spec.name == "remote":
+        # Remote reattach never deserializes shard indexes parent-side:
+        # the artifact path travels to the workers, which load their
+        # pinned shards from the shared filesystem and keep them warm.
+        return out._attach_loaded(
+            points, offsets, live, None, artifact_path=str(path)
+        )
     indexes: dict[int, object] = {}
     for s, lo, hi in live:
         shard_path = _shard_dir(path, s)
@@ -417,20 +478,49 @@ def _load_sharded(path: Path, manifest: Mapping, *, mmap: bool, verify: bool):
         shard_arrays["points"] = points[lo:hi]
         inner = _make_backend(shard_manifest["spec"], shard_path)
         indexes[s] = _restore_backend(inner, shard_arrays, shard_path)
-    try:
-        out = ShardedIndex(
-            inner=str(spec["inner"]),
-            inner_kwargs=dict(spec["inner_kwargs"]),
-            n_shards=int(spec["n_shards"]),
-            executor=str(spec["executor"]),
-            n_workers=spec.get("n_workers"),
-            query_block=int(spec["query_block"]),
-        )
-    except (InvalidParameterError, TypeError, ValueError) as exc:
-        raise PersistenceError(
-            f"cannot reconstruct the ShardedIndex spec of {path}: {exc}"
-        ) from exc
     return out._attach_loaded(points, offsets, live, indexes)
+
+
+def load_shard_index(
+    path: str | Path, shard_id: int, *, mmap: bool = True, verify: bool = True
+):
+    """Load one shard's built inner index from a sharded artifact.
+
+    The worker-side reattach primitive of the remote pool: a worker
+    pinned to shard ``shard_id`` loads only its own shard artifact plus
+    a memory-mapped slice of the shared ``points.npy`` — never the
+    sibling shards. Returns the query-ready inner backend.
+    """
+    path = Path(path)
+    manifest = read_manifest(path, expected_kind=KIND_SHARDED_INDEX)
+    arrays = load_arrays(path, manifest, mmap=mmap, verify=verify)
+    try:
+        points = arrays["points"]
+    except KeyError:
+        raise PersistenceError(
+            f"sharded artifact at {path} is missing its 'points' array"
+        ) from None
+    try:
+        live = {
+            int(entry[0]): (int(entry[1]), int(entry[2]))
+            for entry in manifest["metadata"]["live"]
+        }
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        raise PersistenceError(
+            f"sharded artifact at {path} has malformed shard metadata: {exc}"
+        ) from exc
+    if shard_id not in live:
+        raise PersistenceError(
+            f"sharded artifact at {path} has no shard {shard_id}; "
+            f"live shards: {sorted(live)}"
+        )
+    lo, hi = live[shard_id]
+    shard_path = _shard_dir(path, shard_id)
+    shard_manifest = read_manifest(shard_path, expected_kind=KIND_INDEX_SHARD)
+    shard_arrays = load_arrays(shard_path, shard_manifest, mmap=mmap, verify=verify)
+    shard_arrays["points"] = points[lo:hi]
+    inner = _make_backend(shard_manifest["spec"], shard_path)
+    return _restore_backend(inner, shard_arrays, shard_path)
 
 
 # ----------------------------------------------------------------------
@@ -583,7 +673,7 @@ class ClusterModel:
             unbuilt = resolve_index_spec(self.execution.index, self.metric)
             sharding = self.execution.sharding
             if not isinstance(sharding, ShardingConfig):
-                sharding = False  # never fall back to the thread-local shim
+                sharding = False  # None and False both mean unsharded
             self._core_index, self._core_index_owned = resolve_engine_index(
                 unbuilt, self._cores(), sharding
             )

@@ -1,0 +1,133 @@
+"""Length-prefixed socket wire protocol of the remote worker pool.
+
+One message is one frame::
+
+    MAGIC (4 bytes) | header length (uint32 BE) | header JSON | payloads
+
+The header is a small JSON object carrying the operation and its scalar
+arguments plus an ``arrays`` manifest — ``[{name, dtype, shape}, ...]``
+describing the binary ndarray payloads concatenated after it, in order.
+Query matrices travel to workers and CSR result triples travel back as
+raw C-contiguous buffers: no pickling, nothing version-fragile on the
+wire, and a reader can size every read exactly before issuing it.
+
+Failure mapping: a peer that closes the connection *between* frames is
+reported as ``None`` from :func:`recv_msg` (a clean goodbye); one that
+dies *mid-frame* raises :class:`~repro.exceptions.WorkerUnavailableError`
+(retryable — the peer is gone, not malformed); bad magic, oversized or
+malformed headers raise :class:`~repro.exceptions.RemoteProtocolError`
+(not retryable — the endpoint is not speaking this protocol).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+import numpy as np
+
+from repro.exceptions import RemoteProtocolError, WorkerUnavailableError
+
+__all__ = ["MAGIC", "recv_msg", "send_msg"]
+
+#: Frame magic: "repro pool, format 1". Bump on incompatible changes so
+#: version skew fails as a protocol error, not silent corruption.
+MAGIC = b"RPP1"
+
+#: Sanity cap on the JSON header (the bulk data travels as payloads).
+_MAX_HEADER = 1 << 20
+
+_LEN = struct.Struct(">I")
+
+
+def send_msg(sock: socket.socket, header: dict, arrays: dict | None = None) -> None:
+    """Send one frame: ``header`` plus the ``arrays`` payloads."""
+    arrays = arrays or {}
+    manifest = []
+    payloads = []
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        manifest.append(
+            {"name": name, "dtype": array.dtype.str, "shape": list(array.shape)}
+        )
+        payloads.append(array)
+    header = dict(header)
+    header["arrays"] = manifest
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    if len(header_bytes) > _MAX_HEADER:
+        raise RemoteProtocolError(
+            f"message header of {len(header_bytes)} bytes exceeds the "
+            f"{_MAX_HEADER}-byte cap; move bulk data into array payloads"
+        )
+    try:
+        sock.sendall(MAGIC + _LEN.pack(len(header_bytes)) + header_bytes)
+        for array in payloads:
+            sock.sendall(array)
+    except (BrokenPipeError, ConnectionError) as exc:
+        raise WorkerUnavailableError(
+            f"peer went away while sending a frame: {exc}"
+        ) from exc
+
+
+def _recv_exact(sock: socket.socket, n: int, *, at_boundary: bool) -> bytes | None:
+    """Read exactly ``n`` bytes, or None on a clean EOF at a frame boundary."""
+    chunks = []
+    received = 0
+    while received < n:
+        try:
+            chunk = sock.recv(min(n - received, 1 << 20))
+        except ConnectionError as exc:
+            raise WorkerUnavailableError(
+                f"peer reset the connection mid-frame: {exc}"
+            ) from exc
+        if not chunk:
+            if at_boundary and received == 0:
+                return None
+            raise WorkerUnavailableError(
+                f"peer closed the connection mid-frame "
+                f"({received} of {n} bytes received)"
+            )
+        chunks.append(chunk)
+        received += len(chunk)
+        at_boundary = False
+    return b"".join(chunks)
+
+
+def recv_msg(sock: socket.socket) -> tuple[dict, dict] | None:
+    """Receive one frame as ``(header, arrays)``; None on clean EOF."""
+    magic = _recv_exact(sock, len(MAGIC) + _LEN.size, at_boundary=True)
+    if magic is None:
+        return None
+    if magic[: len(MAGIC)] != MAGIC:
+        raise RemoteProtocolError(
+            f"bad frame magic {magic[: len(MAGIC)]!r}: the peer is not a "
+            "repro pool endpoint (or speaks an incompatible version)"
+        )
+    (header_len,) = _LEN.unpack(magic[len(MAGIC) :])
+    if header_len > _MAX_HEADER:
+        raise RemoteProtocolError(
+            f"frame announces a {header_len}-byte header "
+            f"(cap {_MAX_HEADER}): refusing"
+        )
+    header_bytes = _recv_exact(sock, header_len, at_boundary=False)
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise RemoteProtocolError(f"malformed frame header: {exc}") from exc
+    if not isinstance(header, dict) or not isinstance(header.get("arrays"), list):
+        raise RemoteProtocolError("frame header must be an object with 'arrays'")
+    arrays: dict[str, np.ndarray] = {}
+    for entry in header.pop("arrays"):
+        try:
+            name = entry["name"]
+            dtype = np.dtype(entry["dtype"])
+            shape = tuple(int(s) for s in entry["shape"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RemoteProtocolError(f"malformed array manifest entry: {exc}") from exc
+        nbytes = int(dtype.itemsize * int(np.prod(shape, dtype=np.int64)))
+        if nbytes < 0:
+            raise RemoteProtocolError(f"negative payload size for array {name!r}")
+        payload = _recv_exact(sock, nbytes, at_boundary=False) if nbytes else b""
+        arrays[name] = np.frombuffer(payload, dtype=dtype).reshape(shape)
+    return header, arrays

@@ -1,0 +1,298 @@
+"""The pool worker: a warm shard holder behind a TCP socket.
+
+One worker process serves many client connections (one thread each) and
+holds every shard index it has ever built or reattached in an in-memory
+cache keyed by ``(dataset, inner spec, rows)`` — so a second fit (or a
+different clusterer, or a new eps under an eps-independent inner
+backend) against the same pool attaches to the cached index and pays
+zero inner builds. Datasets arrive once per worker (content-addressed
+by sha256 fingerprint) or never (persisted shard artifacts are loaded
+from a shared filesystem via
+:func:`repro.persistence.load_shard_index`).
+
+Requests (see :mod:`repro.remote.protocol` for the framing):
+
+``ping``
+    Liveness + identity: ``{"ok", "pid"}``.
+``ensure_dataset``
+    ``{"fingerprint"}`` → ``{"have": bool}`` — lets the client skip the
+    bulk upload when the worker already holds the matrix.
+``put_dataset``
+    ``{"fingerprint"}`` + array ``X`` → stores it content-addressed.
+``attach``
+    A shard spec (``shard``, see :func:`_shard_key`) → builds, loads,
+    or cache-hits the shard index; ``{"built": bool}``.
+``query``
+    ``{"qop": range|count|knn, "arg": eps-or-k, "shard": spec}`` +
+    array ``Q`` → runs the shard op (auto-attaching if needed — after a
+    rebalance the new owner sees the shard for the first time mid-fit)
+    and returns the op's CSR arrays plus ``{"built": bool}``.
+``stats``
+    Worker-global counters: ``{"inner_builds", "datasets", "indexes"}``.
+``shutdown``
+    Acknowledges, then stops the whole worker process.
+
+Worker-side exceptions are caught per request and returned as
+``{"error": {"type", "message"}}`` — a misbehaving request must not
+take down a warm shard holder.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import threading
+
+import numpy as np
+
+from repro.exceptions import RemoteProtocolError, ReproError
+from repro.index import sharded as _sharded
+from repro.remote.protocol import recv_msg, send_msg
+
+__all__ = ["ShardHolder", "serve", "worker_main"]
+
+
+def dataset_fingerprint(X: np.ndarray) -> str:
+    """Content address of a dataset: sha256 over bytes, shape and dtype."""
+    import hashlib
+
+    X = np.ascontiguousarray(X)
+    digest = hashlib.sha256()
+    digest.update(repr((X.shape, X.dtype.str)).encode())
+    digest.update(X.data)
+    return digest.hexdigest()
+
+
+def _shard_key(shard: dict) -> tuple:
+    """Cache key of one shard spec: dataset, inner spec, row range.
+
+    ``shard`` carries either a ``dataset`` fingerprint (lazy-build mode)
+    or an ``artifact`` path (persisted-shard mode), plus the inner
+    backend name/kwargs, the shard id and its ``[lo, hi)`` rows.
+    """
+    source = (
+        ("artifact", str(shard["artifact"]))
+        if shard.get("artifact")
+        else ("dataset", str(shard["dataset"]))
+    )
+    return (
+        source,
+        str(shard["inner"]),
+        json.dumps(shard.get("inner_kwargs") or {}, sort_keys=True),
+        int(shard["shard_id"]),
+        int(shard["lo"]),
+        int(shard["hi"]),
+    )
+
+
+class ShardHolder:
+    """The worker's warm cache: datasets and built shard indexes."""
+
+    def __init__(self) -> None:
+        self._datasets: dict[str, np.ndarray] = {}
+        self._indexes: dict[tuple, object] = {}
+        self._lock = threading.Lock()
+        self.n_builds = 0
+
+    def has_dataset(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._datasets
+
+    def put_dataset(self, fingerprint: str, X: np.ndarray) -> None:
+        with self._lock:
+            self._datasets.setdefault(fingerprint, X)
+
+    def attach(self, shard: dict) -> tuple[object, bool]:
+        """The shard's index, building or loading it on first sight.
+
+        Returns ``(index, built)``; ``built`` is True only when this
+        call constructed (or loaded) the index — the client sums these
+        to counter-prove warm reuse.
+        """
+        key = _shard_key(shard)
+        with self._lock:
+            index = self._indexes.get(key)
+            if index is not None:
+                return index, False
+        # Build outside the lock: shard builds are the expensive part
+        # and two different shards must not serialize on each other.
+        if shard.get("artifact"):
+            from repro.persistence import load_shard_index
+
+            index = load_shard_index(shard["artifact"], int(shard["shard_id"]))
+        else:
+            fingerprint = str(shard["dataset"])
+            with self._lock:
+                X = self._datasets.get(fingerprint)
+            if X is None:
+                raise RemoteProtocolError(
+                    f"worker holds no dataset {fingerprint[:12]}…; the "
+                    "client must put_dataset before attaching shards to it"
+                )
+            lo, hi = int(shard["lo"]), int(shard["hi"])
+            index = _sharded.make_inner_backend(
+                str(shard["inner"]), dict(shard.get("inner_kwargs") or {})
+            ).build(np.ascontiguousarray(X[lo:hi]))
+        with self._lock:
+            winner = self._indexes.setdefault(key, index)
+            if winner is index:
+                self.n_builds += 1
+                return index, True
+        return winner, False
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "inner_builds": self.n_builds,
+                "datasets": len(self._datasets),
+                "indexes": len(self._indexes),
+            }
+
+
+def _handle_request(holder: ShardHolder, header: dict, arrays: dict):
+    """One request → ``(reply_header, reply_arrays, keep_serving)``."""
+    op = header.get("op")
+    if op == "ping":
+        return {"ok": True, "pid": os.getpid()}, {}, True
+    if op == "ensure_dataset":
+        return {"have": holder.has_dataset(str(header["fingerprint"]))}, {}, True
+    if op == "put_dataset":
+        X = np.asarray(arrays["X"], dtype=np.float64)
+        holder.put_dataset(str(header["fingerprint"]), X)
+        return {"ok": True}, {}, True
+    if op == "attach":
+        _, built = holder.attach(header["shard"])
+        return {"built": built}, {}, True
+    if op == "query":
+        index, built = holder.attach(header["shard"])
+        qop = str(header["qop"])
+        fn = _sharded._SHARD_OPS.get(qop)
+        if fn is None:
+            raise RemoteProtocolError(f"unknown shard query op {qop!r}")
+        Q = np.asarray(arrays["Q"], dtype=np.float64)
+        arg = header["arg"]
+        result = fn(index, Q, int(arg) if qop == "knn" else float(arg))
+        if qop == "count":
+            out = {"counts": result}
+        elif qop == "range":
+            out = {"indptr": result[0], "flat": result[1]}
+        else:
+            out = {"indptr": result[0], "flat_idx": result[1], "flat_dist": result[2]}
+        return {"built": built}, out, True
+    if op == "stats":
+        return holder.stats(), {}, True
+    if op == "shutdown":
+        return {"ok": True}, {}, False
+    raise RemoteProtocolError(f"unknown pool request op {op!r}")
+
+
+def _serve_connection(conn: socket.socket, holder: ShardHolder, stop) -> None:
+    try:
+        while True:
+            msg = recv_msg(conn)
+            if msg is None:
+                return  # client hung up cleanly
+            header, arrays = msg
+            try:
+                reply, out, keep = _handle_request(holder, header, arrays)
+            except ReproError as exc:
+                reply, out, keep = (
+                    {"error": {"type": type(exc).__name__, "message": str(exc)}},
+                    {},
+                    True,
+                )
+            send_msg(conn, reply, out)
+            if not keep:
+                stop.set()
+                return
+    except ReproError:
+        # Client died mid-frame or spoke garbage: drop the connection,
+        # keep the worker (and its warm shards) alive for the next one.
+        return
+    except OSError:
+        return
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def _pin_blas() -> None:
+    try:
+        import threadpoolctl
+
+        # One BLAS thread per worker: the pool's parallelism budget is
+        # spent on workers, and oversubscription is the classic way a
+        # fleet ends up slower than one box.
+        threadpoolctl.threadpool_limits(limits=1)
+    except Exception:
+        pass
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    on_bound=None,
+    holder: ShardHolder | None = None,
+) -> None:
+    """Run one worker: bind, announce, serve until told to shut down.
+
+    ``port=0`` binds an ephemeral port; ``on_bound(host, port)`` is
+    called once listening (the CLI prints it, spawn helpers report it to
+    the parent). Blocks until a ``shutdown`` request arrives.
+    """
+    _pin_blas()
+    holder = holder or ShardHolder()
+    stop = threading.Event()
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as server:
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind((host, port))
+        server.listen()
+        # Wake the accept loop periodically to notice the stop flag.
+        server.settimeout(0.2)
+        bound_host, bound_port = server.getsockname()[:2]
+        if on_bound is not None:
+            on_bound(bound_host, bound_port)
+        while not stop.is_set():
+            try:
+                conn, _ = server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            conn.settimeout(None)
+            threading.Thread(
+                target=_serve_connection,
+                args=(conn, holder, stop),
+                daemon=True,
+            ).start()
+
+
+def worker_main(argv=None) -> int:
+    """CLI entry point: ``python -m repro.remote.worker --port N``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-worker",
+        description=(
+            "Serve one repro pool worker: holds its pinned shard "
+            "indexes warm across fits for remote sharded clustering."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=0, help="bind port (0 = ephemeral)"
+    )
+    args = parser.parse_args(argv)
+
+    def announce(host, port):
+        print(f"repro pool worker listening on {host}:{port}", flush=True)
+
+    serve(args.host, args.port, on_bound=announce)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(worker_main())

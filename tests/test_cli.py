@@ -60,7 +60,11 @@ class TestParser:
     def test_sharding_defaults_off(self):
         args = build_parser().parse_args(["timing"])
         assert args.shards is None
-        assert args.shard_executor == "serial"
+        # Unset on the parser; execution_from_args falls back to serial
+        # (the flag must stay distinguishable from an explicit "serial"
+        # so --pool-address can detect contradictions).
+        assert args.shard_executor is None
+        assert args.pool_address is None
 
     def test_invalid_shard_executor_rejected(self):
         with pytest.raises(SystemExit):

@@ -120,18 +120,26 @@ class TestConcurrentFits:
 
 
 class TestThreadLocalShim:
-    def test_shim_config_is_invisible_to_other_threads(self):
-        """The deprecated ambient scope no longer leaks across threads."""
-        observed: list = ["unset"]
-        with pytest.warns(DeprecationWarning):
+    def test_removed_shim_raises_in_every_thread(self):
+        """The ambient scope is gone for good: the shim raises a typed
+        error on any thread, and the read-side probe reports no state."""
+        from repro.exceptions import RemovedAPIError
+
+        with pytest.raises(RemovedAPIError, match="ExecutionConfig"):
             with sharded_queries(n_shards=4):
-                assert sharding_config() is not None
+                pass
 
-                def probe() -> None:
-                    observed[0] = sharding_config()
+        observed: list = ["unset"]
 
-                t = threading.Thread(target=probe)
-                t.start()
-                t.join(timeout=30)
+        def probe() -> None:
+            try:
+                with sharded_queries(n_shards=4):
+                    pass
+            except RemovedAPIError:
+                observed[0] = sharding_config()
+
+        t = threading.Thread(target=probe)
+        t.start()
+        t.join(timeout=30)
         assert observed[0] is None
         assert sharding_config() is None

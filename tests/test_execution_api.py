@@ -4,10 +4,10 @@ Two contracts:
 
 * ``make_clusterer`` / ``repro.cluster`` build every registered
   algorithm by name and thread one ``ExecutionConfig`` through it;
-* the deprecated spellings (``index_factory=``, ``batch_queries=``,
-  ``sharded_queries(...)``) each raise exactly one
-  ``DeprecationWarning`` and stay bit-identical to their first-class
-  ``ExecutionConfig`` equivalents.
+* the removed legacy spellings (``index_factory=``, ``batch_queries=``,
+  ``sharded_queries(...)``, ``set_sharding(...)``) each raise a typed
+  :class:`~repro.exceptions.RemovedAPIError` naming the first-class
+  ``ExecutionConfig`` replacement.
 """
 
 from __future__ import annotations
@@ -28,7 +28,7 @@ from repro.clustering import (
 )
 from repro.core import LAFDBSCAN, LAFDBSCANPlusPlus
 from repro.estimators import ExactCardinalityEstimator
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import InvalidParameterError, RemovedAPIError
 from repro.index import CoverTree, sharded_queries
 
 EPS = 0.5
@@ -150,19 +150,16 @@ class TestEngineRoutedSharding:
         assert sharded.stats["shard_live_shards"] == 3
 
 
-class TestDeprecationShims:
-    def test_index_factory_warns_once_and_matches(self, clusterable_data):
-        with pytest.warns(DeprecationWarning, match="index_factory") as record:
-            legacy = DBSCAN(eps=EPS, tau=TAU, index_factory=lambda: CoverTree(base=1.8))
-        assert _deprecation_count(record) == 1
-        modern = DBSCAN(
-            eps=EPS,
-            tau=TAU,
-            execution=ExecutionConfig(index=IndexSpec("cover_tree", {"base": 1.8})),
-        )
-        assert np.array_equal(
-            legacy.fit(clusterable_data).labels, modern.fit(clusterable_data).labels
-        )
+class TestRemovedLegacyAPI:
+    """The PR 5 deprecation shims completed their cycle: typed errors now.
+
+    Every removed spelling raises :class:`RemovedAPIError` (a
+    ``TypeError``) whose message names the first-class replacement.
+    """
+
+    def test_index_factory_raises_pointing_at_index_spec(self):
+        with pytest.raises(RemovedAPIError, match=r"IndexSpec"):
+            DBSCAN(eps=EPS, tau=TAU, index_factory=lambda: CoverTree(base=1.8))
 
     @pytest.mark.parametrize(
         "factory",
@@ -185,20 +182,20 @@ class TestDeprecationShims:
         ],
         ids=["dbscan", "dbscan++", "block", "rho", "laf", "laf++"],
     )
-    def test_batch_queries_warns_once_and_matches(self, factory, clusterable_data):
-        with pytest.warns(DeprecationWarning, match="batch_queries") as record:
-            legacy = factory(batch_queries=False)
-        assert _deprecation_count(record) == 1
-        modern = factory(execution=ExecutionConfig(batch_queries=False))
-        assert np.array_equal(
-            legacy.fit(clusterable_data).labels, modern.fit(clusterable_data).labels
-        )
+    def test_batch_queries_kwarg_raises_on_every_clusterer(self, factory):
+        with pytest.raises(RemovedAPIError, match=r"ExecutionConfig\(batch_queries"):
+            factory(batch_queries=False)
 
-    def test_explicit_default_batch_queries_still_warns(self):
-        # The deprecation keys on the kwarg being *passed*, not its value.
-        with pytest.warns(DeprecationWarning, match="batch_queries") as record:
+    def test_default_valued_batch_queries_still_raises(self):
+        # The removal keys on the kwarg being *passed*, not its value.
+        with pytest.raises(RemovedAPIError, match="batch_queries"):
             DBSCAN(eps=EPS, tau=TAU, batch_queries=True)
-        assert _deprecation_count(record) == 1
+
+    def test_removed_api_error_is_a_type_error(self):
+        # Callers that guarded the legacy kwargs with ``except TypeError``
+        # (the natural guard for a gone kwarg) keep working.
+        with pytest.raises(TypeError):
+            DBSCAN(eps=EPS, tau=TAU, batch_queries=True)
 
     def test_modern_construction_does_not_warn(self):
         with warnings.catch_warnings(record=True) as record:
@@ -206,60 +203,33 @@ class TestDeprecationShims:
             DBSCAN(eps=EPS, tau=TAU, execution=ExecutionConfig(batch_queries=False))
         assert _deprecation_count(record) == 0
 
-    def test_sharded_queries_warns_once_and_matches(self, clusterable_data):
-        modern = DBSCAN(
-            eps=EPS,
-            tau=TAU,
-            execution=ExecutionConfig(sharding=ShardingConfig(n_shards=3)),
+    def test_sharded_queries_raises_pointing_at_execution_config(self):
+        with pytest.raises(RemovedAPIError, match="ExecutionConfig"):
+            with sharded_queries(n_shards=3):
+                pass
+
+    def test_set_sharding_raises_pointing_at_execution_config(self):
+        from repro.index import set_sharding
+
+        with pytest.raises(RemovedAPIError, match="ExecutionConfig"):
+            set_sharding(ShardingConfig(n_shards=3))
+
+    def test_sharding_config_probe_reports_no_ambient_state(self):
+        # The read-side probe stays importable for old diagnostics code
+        # and truthfully answers that no ambient scope can exist anymore.
+        from repro.index import sharding_config
+
+        assert sharding_config() is None
+
+    def test_explicit_sharding_false_stays_first_class(self, clusterable_data):
+        # sharding=False remains the explicit opt-out (recorded on the
+        # wire); with the ambient shim gone it behaves like the default.
+        default = DBSCAN(eps=EPS, tau=TAU).fit(clusterable_data)
+        opted_out = DBSCAN(
+            eps=EPS, tau=TAU, execution=ExecutionConfig(sharding=False)
         ).fit(clusterable_data)
-        with pytest.warns(DeprecationWarning, match="sharded_queries") as record:
-            with sharded_queries(n_shards=3):
-                legacy = DBSCAN(eps=EPS, tau=TAU).fit(clusterable_data)
-        assert _deprecation_count(record) == 1
-        assert np.array_equal(legacy.labels, modern.labels)
-        assert legacy.stats["shard_live_shards"] == 3
-        assert (
-            legacy.stats["shard_inner_builds"] == modern.stats["shard_inner_builds"]
-        )
-
-    def test_legacy_kwarg_overrides_execution_field(self, clusterable_data):
-        # Passing both keeps working: the explicit legacy kwarg wins for
-        # its own field, everything else comes from the config.
-        with pytest.warns(DeprecationWarning, match="batch_queries"):
-            clusterer = DBSCAN(
-                eps=EPS,
-                tau=TAU,
-                batch_queries=False,
-                execution=ExecutionConfig(query_block=256),
-            )
-        assert clusterer.execution.batch_queries is False
-        assert clusterer.execution.query_block == 256
-
-    def test_explicit_sharding_false_beats_ambient_shim(self, clusterable_data):
-        # sharding=None means "unset" (the legacy shim scope applies);
-        # sharding=False is the first-class opt-out the shim cannot
-        # override.
-        with pytest.warns(DeprecationWarning, match="sharded_queries"):
-            with sharded_queries(n_shards=3):
-                ambient = DBSCAN(eps=EPS, tau=TAU).fit(clusterable_data)
-                opted_out = DBSCAN(
-                    eps=EPS, tau=TAU, execution=ExecutionConfig(sharding=False)
-                ).fit(clusterable_data)
-        assert ambient.stats["shard_live_shards"] == 3
         assert "shard_live_shards" not in opted_out.stats
-        assert np.array_equal(ambient.labels, opted_out.labels)
-
-    def test_legacy_kwarg_cannot_create_contradictory_config(self):
-        # batch_queries=False folded into a sharded config re-validates:
-        # the contradiction raises instead of silently running unsharded.
-        with pytest.warns(DeprecationWarning, match="batch_queries"):
-            with pytest.raises(InvalidParameterError, match="batched engine"):
-                DBSCAN(
-                    eps=EPS,
-                    tau=TAU,
-                    batch_queries=False,
-                    execution=ExecutionConfig(sharding=ShardingConfig(n_shards=2)),
-                )
+        assert np.array_equal(default.labels, opted_out.labels)
 
 
 class TestExecutionResolution:

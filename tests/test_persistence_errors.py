@@ -181,13 +181,22 @@ class TestSpecValidation:
         with pytest.raises(PersistenceError, match="no registered rebuild spec"):
             save_index(tree, tmp_path / "tree")
 
-    def test_process_sharded_index_refuses_to_save(self, data, tmp_path):
+    def test_process_sharded_index_saves_and_reloads(self, data, tmp_path):
+        # Worker-held shard indexes used to refuse persistence; now the
+        # parent rebuilds each shard deterministically, records the
+        # executor spec, and the artifact reloads under any executor.
         index = ShardedIndex(n_shards=2, executor="process", n_workers=2).build(data)
         try:
-            with pytest.raises(PersistenceError, match="worker memory"):
-                save_index(index, tmp_path / "sharded")
+            save_index(index, tmp_path / "sharded")
+            expected = index.batch_range_query(data[:5], 0.6)
         finally:
             index.close()
+        loaded = load_index(tmp_path / "sharded", executor="serial")
+        try:
+            got = loaded.batch_range_query(data[:5], 0.6)
+            assert all(np.array_equal(a, b) for a, b in zip(got, expected))
+        finally:
+            loaded.close()
 
     def test_factory_sharded_index_refuses_to_save(self, data, tmp_path):
         index = ShardedIndex(inner=lambda: BruteForceIndex(), n_shards=2).build(data)

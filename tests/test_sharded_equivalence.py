@@ -20,7 +20,7 @@ import pytest
 
 from repro.clustering import DBSCAN
 from repro.engine_config import ExecutionConfig
-from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.exceptions import InvalidParameterError, NotFittedError, RemovedAPIError
 from repro.index import (
     BruteForceIndex,
     NeighborhoodCache,
@@ -327,27 +327,20 @@ class TestEngineWiring:
         assert np.array_equal(baseline.core_mask, result.core_mask)
         assert baseline.stats["range_queries"] == result.stats["range_queries"]
 
-    def test_deprecated_context_restores_previous_config(self):
-        """The legacy shims still scope correctly (thread-locally)."""
+    def test_removed_ambient_shims_raise_typed_errors(self):
+        """The PR 5 shims finished their cycle: typed errors, no scope."""
+        with pytest.raises(RemovedAPIError, match="ExecutionConfig"):
+            set_sharding(ShardingConfig(n_shards=2))
+        with pytest.raises(RemovedAPIError, match="ExecutionConfig"):
+            with sharded_queries(n_shards=8):
+                pass
+        # Even junk arguments get the removal error, not validation: the
+        # API is gone regardless of what is passed to it.
+        with pytest.raises(RemovedAPIError):
+            set_sharding("4 shards please")
+        # The read-side probe stays callable and truthfully reports that
+        # no ambient sharding scope can exist anymore.
         assert sharding_config() is None
-        outer = ShardingConfig(n_shards=2)
-        with pytest.warns(DeprecationWarning):
-            set_sharding(outer)
-        try:
-            with pytest.warns(DeprecationWarning):
-                with sharded_queries(n_shards=8) as inner:
-                    assert sharding_config() is inner
-                    assert inner.n_shards == 8
-            assert sharding_config() is outer
-        finally:
-            with pytest.warns(DeprecationWarning):
-                set_sharding(None)
-        assert sharding_config() is None
-
-    def test_set_sharding_rejects_junk(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(InvalidParameterError):
-                set_sharding("4 shards please")
 
     def test_maybe_shard_passthrough(self, data):
         class Opaque:
