@@ -29,6 +29,10 @@ Section 3.1's hyperparameter defaults) resolves through this facade.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
+from types import MappingProxyType
+from typing import TYPE_CHECKING, Any
+
 import numpy as np
 
 from repro.clustering import (
@@ -44,6 +48,11 @@ from repro.core import LAFDBSCAN, LAFDBSCANPlusPlus
 from repro.engine_config import ExecutionConfig
 from repro.exceptions import InvalidParameterError
 
+if TYPE_CHECKING:
+    from pathlib import Path
+
+    from repro.persistence import ClusterModel
+
 __all__ = [
     "CLUSTERERS",
     "cluster",
@@ -53,16 +62,19 @@ __all__ = [
     "make_clusterer",
 ]
 
-#: Registered clusterers, constructible by name.
-CLUSTERERS: dict[str, type[Clusterer]] = {
-    "dbscan": DBSCAN,
-    "dbscan++": DBSCANPlusPlus,
-    "knn-block": KNNBlockDBSCAN,
-    "block-dbscan": BlockDBSCAN,
-    "rho-approx": RhoApproxDBSCAN,
-    "laf-dbscan": LAFDBSCAN,
-    "laf-dbscan++": LAFDBSCANPlusPlus,
-}
+#: Registered clusterers, constructible by name. Read-only: the public
+#: registry is part of the API surface, so it cannot be patched in place.
+CLUSTERERS: Mapping[str, type[Clusterer]] = MappingProxyType(
+    {
+        "dbscan": DBSCAN,
+        "dbscan++": DBSCANPlusPlus,
+        "knn-block": KNNBlockDBSCAN,
+        "block-dbscan": BlockDBSCAN,
+        "rho-approx": RhoApproxDBSCAN,
+        "laf-dbscan": LAFDBSCAN,
+        "laf-dbscan++": LAFDBSCANPlusPlus,
+    }
+)
 
 #: Accepted spelling variants (the registry is case-insensitive too).
 _ALIASES = {
@@ -82,7 +94,7 @@ def make_clusterer(
     name: str,
     *,
     execution: ExecutionConfig | None = None,
-    **params,
+    **params: Any,
 ) -> Clusterer:
     """Instantiate a registered clusterer by name.
 
@@ -111,7 +123,7 @@ def cluster(
     algo: str = "dbscan",
     *,
     execution: ExecutionConfig | None = None,
-    **params,
+    **params: Any,
 ) -> ClusteringResult:
     """Cluster ``X`` with a registered algorithm in one call.
 
@@ -127,8 +139,8 @@ def fit_model(
     algo: str = "dbscan",
     *,
     execution: ExecutionConfig | None = None,
-    **params,
-):
+    **params: Any,
+) -> "ClusterModel":
     """Fit a registered algorithm and freeze it for serving.
 
     Equivalent to ``make_clusterer(algo, ...).fit_model(X)``; returns a
@@ -139,7 +151,9 @@ def fit_model(
     return make_clusterer(algo, execution=execution, **params).fit_model(X)
 
 
-def load_model(path, *, mmap: bool = True, verify: bool = True):
+def load_model(
+    path: "str | Path", *, mmap: bool = True, verify: bool = True
+) -> "ClusterModel":
     """Load a :class:`~repro.persistence.ClusterModel` saved with ``save``."""
     from repro.persistence import load_model as _load_model
 

@@ -14,7 +14,8 @@ one machine (see DESIGN.md, "Data substitutions").
 from __future__ import annotations
 
 import dataclasses
-from collections.abc import Callable
+from collections.abc import Callable, Mapping
+from types import MappingProxyType
 
 import numpy as np
 
@@ -93,15 +94,24 @@ def _spec(name, n_full, dim, alpha, vector_type, generator) -> DatasetSpec:
 
 
 #: Table 1 of the paper: name -> (size, dim, alpha, vector type).
-DATASET_SPECS: dict[str, DatasetSpec] = {
-    "NYT-150k": _spec("NYT-150k", 150_000, 256, 1.15, "Bag-of-words", make_nyt_like),
-    "Glove-150k": _spec(
-        "Glove-150k", 150_000, 200, 2.0, "Word embedding", make_glove_like
-    ),
-    "MS-150k": _spec("MS-150k", 152_185, 768, 7.7, "Passage embedding", make_ms_like),
-    "MS-100k": _spec("MS-100k", 107_400, 768, 2.0, "Passage embedding", make_ms_like),
-    "MS-50k": _spec("MS-50k", 53_700, 768, 1.5, "Passage embedding", make_ms_like),
-}
+#: Read-only: the paper's dataset matrix is fixed, not patchable state.
+DATASET_SPECS: Mapping[str, DatasetSpec] = MappingProxyType(
+    {
+        "NYT-150k": _spec(
+            "NYT-150k", 150_000, 256, 1.15, "Bag-of-words", make_nyt_like
+        ),
+        "Glove-150k": _spec(
+            "Glove-150k", 150_000, 200, 2.0, "Word embedding", make_glove_like
+        ),
+        "MS-150k": _spec(
+            "MS-150k", 152_185, 768, 7.7, "Passage embedding", make_ms_like
+        ),
+        "MS-100k": _spec(
+            "MS-100k", 107_400, 768, 2.0, "Passage embedding", make_ms_like
+        ),
+        "MS-50k": _spec("MS-50k", 53_700, 768, 1.5, "Passage embedding", make_ms_like),
+    }
+)
 
 
 def dataset_names() -> list[str]:

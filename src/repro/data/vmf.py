@@ -88,11 +88,13 @@ def sample_vmf(
     if n == 0:
         return np.empty((0, dim))
     norm = np.linalg.norm(mu)
-    if norm == 0.0:
+    if norm == 0.0:  # reprolint: disable=RPL008 -- exact degenerate-input
+        # check: only a literally all-zero mu has no direction at all
         raise InvalidParameterError("mu must be non-zero")
     mu = mu / norm
 
-    if kappa == 0.0:
+    if kappa == 0.0:  # reprolint: disable=RPL008 -- exact parameter
+        # sentinel: kappa=0 selects the uniform-sphere branch by contract
         raw = rng.normal(size=(n, dim))
         return raw / np.linalg.norm(raw, axis=1, keepdims=True)
 

@@ -30,7 +30,9 @@ def normalize_rows(X: np.ndarray, copy: bool = True) -> np.ndarray:
     X = np.array(X, dtype=np.float64, copy=copy)
     if X.ndim == 1:
         norm = float(np.linalg.norm(X))
-        return X if norm == 0.0 else X / norm
+        # reprolint pragma: exact zero-vector guard before division, the
+        # 1-D twin of the vectorized clamp below.
+        return X if norm == 0.0 else X / norm  # reprolint: disable=RPL008
     norms = np.linalg.norm(X, axis=1, keepdims=True)
     np.maximum(norms, np.finfo(np.float64).tiny, out=norms)
     norms[norms == 0.0] = 1.0

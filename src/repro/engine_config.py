@@ -115,7 +115,7 @@ class IndexSpec:
         """Whether this spec resolves through a user factory."""
         return self.factory is not None
 
-    def make(self):
+    def make(self) -> object:
         """Construct the (unbuilt) backend this spec describes."""
         if self.factory is not None:
             return self.factory()
@@ -309,7 +309,7 @@ class ExecutionConfig:
         )
 
 
-def _checked_mapping(data, allowed: set[str], owner: str) -> dict:
+def _checked_mapping(data: object, allowed: set[str], owner: str) -> dict:
     """Validate a from_dict payload: a mapping with no unknown keys."""
     if not isinstance(data, Mapping):
         raise InvalidParameterError(

@@ -18,10 +18,24 @@ import dataclasses
 
 import numpy as np
 
-from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.exceptions import InvalidParameterError, NotFittedError, PersistenceError
 from repro.rng import ensure_rng
 
 __all__ = ["MLPRegressor", "TrainingHistory", "paper_hidden_layers"]
+
+
+def _reject_object_arrays(arrays: dict[str, np.ndarray]) -> None:
+    """Refuse to serialize object-dtype arrays.
+
+    ``np.savez`` has no ``allow_pickle`` switch — an object array would
+    silently go through pickle. Estimator artifacts are numeric only.
+    """
+    for key, arr in arrays.items():
+        if np.asarray(arr).dtype.hasobject:
+            raise PersistenceError(
+                f"refusing to save object-dtype array {key!r}: estimator "
+                "artifacts must be numeric (pickle-free)"
+            )
 
 
 def paper_hidden_layers() -> tuple[int, ...]:
@@ -275,12 +289,14 @@ class MLPRegressor:
         for i, (W, b) in enumerate(zip(self._weights, self._biases)):
             arrays[f"W{i}"] = W
             arrays[f"b{i}"] = b
-        np.savez(path, **arrays)
+        _reject_object_arrays(arrays)
+        np.savez(path, **arrays)  # reprolint: disable=RPL002 -- numeric
+        # dtypes enforced by _reject_object_arrays, so nothing can pickle
 
     @classmethod
     def load(cls, path: str) -> "MLPRegressor":
         """Restore a network saved with :meth:`save`."""
-        data = np.load(path)
+        data = np.load(path, allow_pickle=False)
         model = cls(hidden_layers=tuple(int(h) for h in data["hidden_layers"]))
         model._feature_mean = data["feature_mean"]
         model._feature_std = data["feature_std"]

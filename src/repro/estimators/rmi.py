@@ -26,7 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.estimators.base import CardinalityEstimator
-from repro.estimators.mlp import MLPRegressor
+from repro.estimators.mlp import MLPRegressor, _reject_object_arrays
 from repro.estimators.training_data import (
     DEFAULT_RADII,
     TrainingSet,
@@ -283,12 +283,14 @@ class RMICardinalityEstimator(CardinalityEstimator):
                 for i, (W, b) in enumerate(zip(model._weights, model._biases)):
                     arrays[prefix + f"W{i}"] = W
                     arrays[prefix + f"b{i}"] = b
-        np.savez(path, **arrays)
+        _reject_object_arrays(arrays)
+        np.savez(path, **arrays)  # reprolint: disable=RPL002 -- numeric
+        # dtypes enforced by _reject_object_arrays, so nothing can pickle
 
     @classmethod
     def load(cls, path: str) -> "RMICardinalityEstimator":
         """Restore an estimator saved with :meth:`save` (ready to bind)."""
-        data = np.load(path)
+        data = np.load(path, allow_pickle=False)
         stages = tuple(int(s) for s in data["stages"])
         hidden_layers = tuple(int(h) for h in data["hidden_layers"])
         estimator = cls(stages=stages, hidden_layers=hidden_layers)

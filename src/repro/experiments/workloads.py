@@ -19,7 +19,8 @@ from repro.estimators.rmi import RMICardinalityEstimator
 __all__ = ["Workload", "prepare_workload", "prepare_workloads", "clear_cache"]
 
 #: Process-wide memo of prepared workloads.
-_CACHE: dict[tuple, "Workload"] = {}
+_CACHE: dict[tuple, "Workload"] = {}  # reprolint: disable=RPL003 -- keyed
+# memo with an exported clear_cache(); entries are deterministic in the key
 
 
 @dataclasses.dataclass(frozen=True)

@@ -572,7 +572,32 @@ class _ThreadExecutor:
 
 
 # Worker-process state, populated once per worker by _worker_init.
-_WORKER_STATE: dict = {}
+_WORKER_STATE: dict = {}  # reprolint: disable=RPL003 -- per-process worker
+# state, written exactly once by the pool initializer in each worker
+
+
+def _pin_blas_single_thread():
+    """Limit BLAS pools in this process to one thread; returns the limiter.
+
+    One BLAS thread per worker: the parallelism budget is spent on
+    processes, and oversubscription (workers x BLAS threads) is the
+    classic way a process pool ends up slower than serial. Returns
+    ``None`` when threadpoolctl is unavailable — the worker still runs,
+    just at risk of oversubscription.
+    """
+    try:
+        import threadpoolctl
+    except ImportError:
+        return None
+    try:
+        return threadpoolctl.threadpool_limits(limits=1)
+    except Exception as exc:
+        warnings.warn(
+            f"could not pin BLAS threads to 1: {exc}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
 
 
 def _worker_init(
@@ -584,16 +609,10 @@ def _worker_init(
     inner_kwargs: dict,
 ) -> None:
     """Attach the shared dataset segment and stash the shard specs."""
-    try:
-        import threadpoolctl
-
-        # One BLAS thread per worker: the parallelism budget is spent on
-        # processes, and oversubscription (workers x BLAS threads) is the
-        # classic way a process pool ends up slower than serial.
-        limiter = threadpoolctl.threadpool_limits(limits=1)
-    except Exception:
-        limiter = None
-    shm = shared_memory.SharedMemory(name=shm_name)
+    limiter = _pin_blas_single_thread()
+    # The attachment lives as long as the worker process: _WORKER_STATE
+    # holds it and the OS reclaims the mapping when the pool shuts down.
+    shm = shared_memory.SharedMemory(name=shm_name)  # reprolint: disable=RPL001
     X = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=shm.buf)
     _WORKER_STATE.clear()
     _WORKER_STATE.update(
@@ -791,7 +810,9 @@ class _ProcessExecutor:
                 return results
             self._rebalance(broken)
             pending = [(pos, calls[pos]) for pos in sorted(failed)]
-        raise BrokenProcessPool(
+        raise BrokenProcessPool(  # reprolint: disable=RPL004 -- callers
+            # catch the stdlib executor's failure type; converting it
+            # to a ReproError would break that contract
             f"shard workers keep dying; gave up after {self.n_rebalances} "
             f"rebalances with {len(pending)} calls outstanding"
         )

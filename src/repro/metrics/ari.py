@@ -52,6 +52,7 @@ def adjusted_rand_index(labels_true: np.ndarray, labels_pred: np.ndarray) -> flo
     expected = sum_true * sum_pred / total_pairs
     max_index = (sum_true + sum_pred) / 2.0
     denominator = max_index - expected
-    if denominator == 0.0:
+    if denominator == 0.0:  # reprolint: disable=RPL008 -- exact guard
+        # against 0/0: both labelings degenerate, ARI is 1 by convention
         return 1.0
     return float((index - expected) / denominator)

@@ -32,6 +32,7 @@ import hashlib
 import json
 from collections.abc import Mapping
 from pathlib import Path
+from typing import Any, TypeVar
 
 import numpy as np
 
@@ -244,7 +245,7 @@ def load_arrays(
 # ----------------------------------------------------------------------
 
 
-def save_index(index, path: str | Path) -> Path:
+def save_index(index: Any, path: str | Path) -> Path:
     """Persist a built index as a versioned artifact directory.
 
     Handles the four registered backends and
@@ -289,8 +290,12 @@ def save_index(index, path: str | Path) -> Path:
 
 
 def load_index(
-    path: str | Path, *, mmap: bool = True, verify: bool = True, executor=None
-):
+    path: str | Path,
+    *,
+    mmap: bool = True,
+    verify: bool = True,
+    executor: Any = None,
+) -> Any:
     """Load a saved index, reattaching arrays via ``np.load(mmap_mode="r")``.
 
     The inverse of :func:`save_index`: returns a query-ready backend of
@@ -325,7 +330,7 @@ def load_index(
     return _restore_backend(index, arrays, path)
 
 
-def _make_backend(spec: Mapping, path):
+def _make_backend(spec: Mapping, path: Path) -> Any:
     from repro.index.sharded import make_inner_backend
 
     backend = spec.get("backend")
@@ -342,7 +347,7 @@ def _make_backend(spec: Mapping, path):
         ) from exc
 
 
-def _restore_backend(index, arrays: dict, path):
+def _restore_backend(index: Any, arrays: dict, path: Path) -> Any:
     try:
         return index.from_arrays(arrays)
     except KeyError as exc:
@@ -356,7 +361,7 @@ def _shard_dir(path: Path, shard_id: int) -> Path:
     return path / "shards" / f"{shard_id:05d}"
 
 
-def _save_sharded(index, path: str | Path) -> Path:
+def _save_sharded(index: Any, path: str | Path) -> Path:
     """ShardedIndex layout: top-level ``points.npy`` + per-shard artifacts.
 
     The full matrix is stored exactly once; each shard artifact holds
@@ -422,8 +427,13 @@ def _save_sharded(index, path: str | Path) -> Path:
 
 
 def _load_sharded(
-    path: Path, manifest: Mapping, *, mmap: bool, verify: bool, executor=None
-):
+    path: Path,
+    manifest: Mapping,
+    *,
+    mmap: bool,
+    verify: bool,
+    executor: Any = None,
+) -> Any:
     from repro.index.sharded import ExecutorSpec, ShardedIndex
 
     spec = manifest["spec"]
@@ -483,7 +493,7 @@ def _load_sharded(
 
 def load_shard_index(
     path: str | Path, shard_id: int, *, mmap: bool = True, verify: bool = True
-):
+) -> Any:
     """Load one shard's built inner index from a sharded artifact.
 
     The worker-side reattach primitive of the remote pool: a worker
@@ -571,7 +581,7 @@ class ClusterModel:
         params: Mapping,
         metric: str | Metric = "cosine",
         execution: ExecutionConfig | None = None,
-        estimator=None,
+        estimator: Any = None,
     ) -> None:
         self.points = np.ascontiguousarray(np.asarray(points, dtype=np.float64))
         self.labels = np.asarray(labels, dtype=np.int64)
@@ -599,7 +609,7 @@ class ClusterModel:
         self.estimator = estimator
         self._core_global = np.flatnonzero(self.core_mask)
         self._core_points: np.ndarray | None = None
-        self._core_index = None
+        self._core_index: Any = None
         self._core_index_owned = False
         self._core_distances: np.ndarray | None = None
 
@@ -657,7 +667,7 @@ class ClusterModel:
     # Serving
     # ------------------------------------------------------------------
 
-    def _ensure_core_index(self):
+    def _ensure_core_index(self) -> Any:
         """The range-query index over the core points, built once.
 
         Resolved through the same seams as a fit: the execution
@@ -731,7 +741,7 @@ class ClusterModel:
     def __enter__(self) -> "ClusterModel":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
@@ -782,7 +792,9 @@ class ClusterModel:
         )
 
 
-def load_model(path: str | Path, *, mmap: bool = True, verify: bool = True):
+def load_model(
+    path: str | Path, *, mmap: bool = True, verify: bool = True
+) -> "ClusterModel":
     """Load a :class:`ClusterModel` saved with :meth:`ClusterModel.save`.
 
     Arrays reattach as read-only memory maps (``mmap=False`` to read
@@ -856,7 +868,10 @@ def load_model(path: str | Path, *, mmap: bool = True, verify: bool = True):
     return model
 
 
-def _check_loaded_type(index, cls, path):
+_IndexT = TypeVar("_IndexT")
+
+
+def _check_loaded_type(index: Any, cls: type[_IndexT], path: Path) -> _IndexT:
     """Shared type guard for ``SomeIndex.load(path)`` classmethods."""
     if not isinstance(index, cls):
         raise PersistenceError(

@@ -221,15 +221,9 @@ def _serve_connection(conn: socket.socket, holder: ShardHolder, stop) -> None:
 
 
 def _pin_blas() -> None:
-    try:
-        import threadpoolctl
-
-        # One BLAS thread per worker: the pool's parallelism budget is
-        # spent on workers, and oversubscription is the classic way a
-        # fleet ends up slower than one box.
-        threadpoolctl.threadpool_limits(limits=1)
-    except Exception:
-        pass
+    # One BLAS thread per worker: the pool's parallelism budget is spent
+    # on workers; missing threadpoolctl degrades gracefully (and loudly).
+    _sharded._pin_blas_single_thread()
 
 
 def serve(

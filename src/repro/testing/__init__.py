@@ -9,6 +9,11 @@ with the same bare module name are collected in one run.
 ``reference_dbscan`` is deliberately implemented independently of the
 library code paths (full distance matrix + BFS) so algorithmic tests
 compare two distinct implementations rather than a module with itself.
+
+The runtime resource sanitizer lives in the ``repro.testing.sanitizer``
+submodule (a pytest plugin — load it with ``-p repro.testing.sanitizer``;
+it is intentionally not imported here so importing the helpers never
+requires pytest).
 """
 
 from __future__ import annotations

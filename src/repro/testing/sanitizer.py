@@ -1,0 +1,185 @@
+"""Runtime resource sanitizer: a pytest plugin that fails leaking tests.
+
+The static side of the invariant lives in ``tools/reprolint`` (RPL001:
+resources must be scoped). This is the dynamic side: around every test
+it snapshots the OS-level resources the stack acquires — SharedMemory
+segments in ``/dev/shm``, open socket file descriptors, and live child
+processes — and fails any test that exits with more of them than it
+started with. A leak the linter cannot see (a resource acquired through
+three layers of indirection) still cannot get past the snapshot diff.
+
+Activate it explicitly::
+
+    pytest -p repro.testing.sanitizer
+
+or from a conftest::
+
+    pytest_plugins = ["repro.testing.sanitizer"]
+
+Exempt a test that leaks by design (e.g. it exercises crash paths whose
+cleanup happens at process exit)::
+
+    @pytest.mark.allow_resource_leaks
+
+A ``faulthandler``-based watchdog dumps all thread stacks if a single
+test runs longer than ``REPRO_SANITIZER_TIMEOUT`` seconds (default 300,
+``0`` disables), so a deadlocked remote/thread suite produces a
+traceback instead of a silent CI hang.
+
+Environment knobs (env vars, not CLI options, so the plugin works the
+same whether it is loaded via ``-p``, ``pytest_plugins``, or an ini):
+
+``REPRO_SANITIZER_TIMEOUT``
+    Per-test watchdog seconds (default ``300``; ``0`` disables).
+``REPRO_SANITIZER_RETRIES``
+    Recheck rounds before declaring a leak (default ``4``). Each round
+    sleeps 50 ms; this absorbs executor children that are mid-exit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import faulthandler
+import gc
+import multiprocessing
+import os
+import time
+
+import pytest
+
+__all__ = ["ResourceSnapshot", "capture_snapshot"]
+
+_SHM_DIR = "/dev/shm"
+_FD_DIR = "/proc/self/fd"
+
+
+def _live_shm_segments() -> frozenset[str]:
+    """Names of python SharedMemory segments currently in /dev/shm."""
+    try:
+        entries = os.listdir(_SHM_DIR)
+    except OSError:
+        return frozenset()  # non-Linux: shm tracking degrades to a no-op
+    return frozenset(name for name in entries if name.startswith("psm_"))
+
+
+def _open_socket_fds() -> frozenset[str]:
+    """``fd=socket:[inode]`` strings for every open socket fd."""
+    try:
+        fds = os.listdir(_FD_DIR)
+    except OSError:
+        return frozenset()  # no procfs: socket tracking degrades
+    out = set()
+    for fd in fds:
+        try:
+            target = os.readlink(os.path.join(_FD_DIR, fd))
+        except OSError:
+            continue  # fd closed between listdir and readlink
+        if target.startswith("socket:"):
+            out.add(f"{fd}={target}")
+    return frozenset(out)
+
+
+def _live_children() -> frozenset[int]:
+    """PIDs of live child processes (reaps already-exited ones)."""
+    return frozenset(p.pid for p in multiprocessing.active_children() if p.pid)
+
+
+@dataclasses.dataclass(frozen=True)
+class ResourceSnapshot:
+    """Point-in-time view of the leak-prone resources this process holds."""
+
+    shm: frozenset[str]
+    sockets: frozenset[str]
+    children: frozenset[int]
+
+    def leaks_since(self, before: "ResourceSnapshot") -> dict[str, list[str]]:
+        """Resources present now that were not in ``before``; empty = clean."""
+        leaks: dict[str, list[str]] = {}
+        if self.shm - before.shm:
+            leaks["shm"] = sorted(self.shm - before.shm)
+        if self.sockets - before.sockets:
+            leaks["sockets"] = sorted(self.sockets - before.sockets)
+        if self.children - before.children:
+            leaks["children"] = sorted(map(str, self.children - before.children))
+        return leaks
+
+
+def capture_snapshot() -> ResourceSnapshot:
+    return ResourceSnapshot(
+        shm=_live_shm_segments(),
+        sockets=_open_socket_fds(),
+        children=_live_children(),
+    )
+
+
+def _settle_and_diff(before: ResourceSnapshot) -> dict[str, list[str]]:
+    """Diff against ``before``, rechecking briefly to absorb teardown lag.
+
+    Executor children and resource-tracker unlinks complete a beat after
+    ``shutdown()`` returns; a leak must survive every recheck round to be
+    reported.
+    """
+    retries = int(os.environ.get("REPRO_SANITIZER_RETRIES", "4"))
+    gc.collect()
+    leaks = capture_snapshot().leaks_since(before)
+    for _ in range(max(retries, 0)):
+        if not leaks:
+            return {}
+        time.sleep(0.05)
+        gc.collect()
+        leaks = capture_snapshot().leaks_since(before)
+    return leaks
+
+
+def _watchdog_seconds() -> float:
+    try:
+        return float(os.environ.get("REPRO_SANITIZER_TIMEOUT", "300"))
+    except ValueError:
+        return 300.0
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "allow_resource_leaks: exempt this test from the resource sanitizer "
+        "(justify in a comment: why cleanup cannot happen in-test)",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _repro_resource_sanitizer(request: pytest.FixtureRequest):
+    """Snapshot resources around each test; fail the test on a leak.
+
+    Autouse + function-scoped means pytest instantiates this fixture
+    before the test's own function-scoped fixtures and finalizes it
+    after them — so their teardown runs inside the window, while
+    module/session fixtures (long-lived pools) sit in the baseline.
+    """
+    if request.node.get_closest_marker("allow_resource_leaks"):
+        yield
+        return
+
+    timeout = _watchdog_seconds()
+    watchdog_armed = False
+    if timeout > 0 and hasattr(faulthandler, "dump_traceback_later"):
+        faulthandler.dump_traceback_later(timeout, exit=False)
+        watchdog_armed = True
+
+    before = capture_snapshot()
+    try:
+        yield
+    finally:
+        if watchdog_armed:
+            faulthandler.cancel_dump_traceback_later()
+
+    leaks = _settle_and_diff(before)
+    if leaks:
+        detail = "; ".join(
+            f"{kind}: {', '.join(items)}" for kind, items in sorted(leaks.items())
+        )
+        pytest.fail(
+            f"test leaked OS resources ({detail}) — close engines, "
+            "sockets, and executors before returning, or mark the test "
+            "with @pytest.mark.allow_resource_leaks and a justification",
+            pytrace=False,
+        )

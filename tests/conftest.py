@@ -7,11 +7,24 @@ downstream users can import); tests import helpers from there directly.
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.distances import normalize_rows
 from repro.testing import make_blobs_on_sphere
+
+# tools/ holds dev-only packages (reprolint) that are not part of the
+# installed distribution; make them importable for the suite regardless
+# of how PYTHONPATH was set up.
+_TOOLS_DIR = str(Path(__file__).resolve().parent.parent / "tools")
+if _TOOLS_DIR not in sys.path:
+    sys.path.insert(0, _TOOLS_DIR)
+
+# pytester drives the sanitizer-plugin tests via real sub-runs.
+pytest_plugins = ["pytester"]
 
 # ---------------------------------------------------------------------------
 # Data fixtures

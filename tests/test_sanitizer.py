@@ -1,0 +1,199 @@
+"""Runtime resource sanitizer: snapshot unit tests + pytester end-to-end."""
+
+from __future__ import annotations
+
+import os
+import socket
+from multiprocessing import shared_memory
+from pathlib import Path
+
+import pytest
+
+from repro.testing.sanitizer import ResourceSnapshot, capture_snapshot
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir("/proc/self/fd"),
+    reason="sanitizer introspection requires procfs (Linux)",
+)
+
+
+# ---------------------------------------------------------------------------
+# Snapshot primitives
+# ---------------------------------------------------------------------------
+
+
+class TestSnapshots:
+    def test_clean_window_has_no_leaks(self):
+        before = capture_snapshot()
+        shm = shared_memory.SharedMemory(create=True, size=64)
+        try:
+            pass
+        finally:
+            shm.close()
+            shm.unlink()
+        assert capture_snapshot().leaks_since(before) == {}
+
+    def test_open_shm_detected(self):
+        before = capture_snapshot()
+        shm = shared_memory.SharedMemory(create=True, size=64)
+        try:
+            leaks = capture_snapshot().leaks_since(before)
+            assert "shm" in leaks
+            assert any(shm.name.lstrip("/") in entry for entry in leaks["shm"])
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_open_socket_detected(self):
+        before = capture_snapshot()
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            leaks = capture_snapshot().leaks_since(before)
+            assert "sockets" in leaks
+        finally:
+            sock.close()
+        assert capture_snapshot().leaks_since(before) == {}
+
+    def test_snapshot_is_frozen(self):
+        snap = capture_snapshot()
+        assert isinstance(snap, ResourceSnapshot)
+        with pytest.raises(AttributeError):
+            snap.shm = frozenset()
+
+
+# ---------------------------------------------------------------------------
+# Plugin end-to-end (real nested pytest runs via pytester)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def sanitized_pytester(pytester: pytest.Pytester, monkeypatch) -> pytest.Pytester:
+    """A pytester whose sub-runs can import repro and load the plugin.
+
+    pytester chdirs into a temp dir, so the repo-relative PYTHONPATH the
+    tier-1 command uses would stop resolving; pin the absolute paths.
+    """
+    monkeypatch.setenv(
+        "PYTHONPATH",
+        os.pathsep.join([str(REPO_ROOT / "src"), str(REPO_ROOT / "tools")]),
+    )
+    # keep sub-run leak rechecks fast and the watchdog out of the way
+    monkeypatch.setenv("REPRO_SANITIZER_RETRIES", "2")
+    monkeypatch.delenv("REPRO_SANITIZER_TIMEOUT", raising=False)
+    return pytester
+
+
+def _cleanup_shm(name_file: Path) -> None:
+    """Unlink a segment a nested test leaked on purpose."""
+    if not name_file.exists():
+        return
+    name = name_file.read_text().strip()
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return
+    shm.close()
+    shm.unlink()
+
+
+class TestSanitizerPlugin:
+    def test_injected_shm_leak_fails_the_test(self, sanitized_pytester, tmp_path):
+        """The acceptance-criteria scenario: an unclosed SharedMemory."""
+        name_file = tmp_path / "leaked_name.txt"
+        sanitized_pytester.makepyfile(
+            f"""
+            from multiprocessing import shared_memory
+
+            def test_leaks_shm():
+                shm = shared_memory.SharedMemory(create=True, size=64)
+                open({str(name_file)!r}, "w").write(shm.name)
+            """
+        )
+        try:
+            result = sanitized_pytester.runpytest_subprocess(
+                "-p", "repro.testing.sanitizer", "-p", "no:cacheprovider"
+            )
+            result.assert_outcomes(passed=1, errors=1)
+            result.stdout.fnmatch_lines(["*leaked OS resources*shm*"])
+        finally:
+            _cleanup_shm(name_file)
+
+    def test_injected_socket_leak_fails_the_test(self, sanitized_pytester):
+        sanitized_pytester.makepyfile(
+            """
+            import socket
+
+            _KEEP = []
+
+            def test_leaks_socket():
+                _KEEP.append(socket.socket(socket.AF_INET, socket.SOCK_STREAM))
+            """
+        )
+        result = sanitized_pytester.runpytest_subprocess(
+            "-p", "repro.testing.sanitizer", "-p", "no:cacheprovider"
+        )
+        result.assert_outcomes(passed=1, errors=1)
+        result.stdout.fnmatch_lines(["*leaked OS resources*sockets*"])
+
+    def test_clean_test_passes(self, sanitized_pytester):
+        sanitized_pytester.makepyfile(
+            """
+            from multiprocessing import shared_memory
+
+            def test_clean():
+                shm = shared_memory.SharedMemory(create=True, size=64)
+                try:
+                    assert len(shm.buf) >= 64
+                finally:
+                    shm.close()
+                    shm.unlink()
+            """
+        )
+        result = sanitized_pytester.runpytest_subprocess(
+            "-p", "repro.testing.sanitizer", "-p", "no:cacheprovider"
+        )
+        result.assert_outcomes(passed=1, errors=0)
+
+    def test_marker_exempts_leaky_test(self, sanitized_pytester, tmp_path):
+        name_file = tmp_path / "leaked_name.txt"
+        sanitized_pytester.makepyfile(
+            f"""
+            import pytest
+            from multiprocessing import shared_memory
+
+            @pytest.mark.allow_resource_leaks
+            def test_leaks_but_exempt():
+                shm = shared_memory.SharedMemory(create=True, size=64)
+                open({str(name_file)!r}, "w").write(shm.name)
+            """
+        )
+        try:
+            result = sanitized_pytester.runpytest_subprocess(
+                "-p", "repro.testing.sanitizer", "-p", "no:cacheprovider"
+            )
+            result.assert_outcomes(passed=1, errors=0)
+        finally:
+            _cleanup_shm(name_file)
+
+    def test_watchdog_dumps_stacks_on_slow_test(
+        self, sanitized_pytester, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SANITIZER_TIMEOUT", "1")
+        sanitized_pytester.makepyfile(
+            """
+            import time
+
+            def test_slow():
+                time.sleep(2.5)
+            """
+        )
+        # -s: pytest's fd capture would otherwise swallow the dump that
+        # faulthandler writes straight to fd 2 when the test passes
+        result = sanitized_pytester.runpytest_subprocess(
+            "-p", "repro.testing.sanitizer", "-p", "no:cacheprovider", "-s"
+        )
+        # the watchdog reports (exit=False) without killing the test
+        result.assert_outcomes(passed=1)
+        result.stderr.fnmatch_lines(["*Timeout*"])

@@ -1,0 +1,40 @@
+"""reprolint: AST-level invariant checker for the repro codebase.
+
+Every rule encodes an invariant a previous PR established after shipping
+(and then fixing) the corresponding bug class — resource lifecycles,
+wire safety, global state, typed errors. Ruff cannot express these
+checks; reprolint walks the stdlib ``ast`` and enforces them at lint
+time so regressions are caught by machines, not by reviewer memory.
+
+Usage::
+
+    python -m reprolint src benchmarks
+    python -m reprolint src --format json --output report.json
+    python -m reprolint --list-rules
+
+Suppress a finding with a same-line pragma and a justification::
+
+    _WORKER_STATE: dict = {}  # reprolint: disable=RPL003 -- per-worker
+    # process state, installed exactly once by the pool initializer
+
+or a whole file with ``# reprolint: disable-file=RPL008`` on any line.
+
+See ``docs/development.md`` for the invariant-by-invariant rationale.
+"""
+
+from reprolint.core import Finding, LintContext, lint_file, lint_paths, lint_source
+from reprolint.rules import RULES, Rule, all_rule_codes
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "RULES",
+    "Rule",
+    "all_rule_codes",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "__version__",
+]

@@ -1,0 +1,123 @@
+"""Command-line front end: ``python -m reprolint [paths...]``.
+
+Exit codes: 0 clean, 1 findings, 2 usage error. The JSON format is
+stable and consumed by CI (uploaded as an artifact), so additions are
+fine but renames are not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import json
+import sys
+
+from reprolint import __version__
+from reprolint.core import Finding, lint_paths
+from reprolint.rules import RULES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="AST-level invariant checker for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src benchmarks)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry and exit",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"reprolint {__version__}"
+    )
+    return parser
+
+
+def _render_human(findings: list[Finding], checked: int) -> str:
+    lines = [f.render() for f in findings]
+    noun = "file" if checked == 1 else "files"
+    if findings:
+        lines.append(f"{len(findings)} finding(s) in {checked} {noun}")
+    else:
+        lines.append(f"clean: 0 findings in {checked} {noun}")
+    return "\n".join(lines)
+
+
+def _render_json(findings: list[Finding], checked: int) -> str:
+    counts = collections.Counter(f.code for f in findings)
+    return json.dumps(
+        {
+            "tool": "reprolint",
+            "version": __version__,
+            "checked_files": checked,
+            "findings": [f.as_dict() for f in findings],
+            "counts": dict(sorted(counts.items())),
+        },
+        indent=2,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code in sorted(RULES):
+            rule = RULES[code]
+            scope = "/".join(rule.scope) if rule.scope else "everywhere"
+            print(f"{code}  [{scope}]  {rule.summary}")
+        return 0
+
+    paths = args.paths or ["src", "benchmarks"]
+    select = None
+    if args.select:
+        select = {code.strip().upper() for code in args.select.split(",")}
+        unknown = select - set(RULES)
+        if unknown:
+            parser.error(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+
+    findings, checked = lint_paths(list(paths), select=select)
+    if checked == 0:
+        parser.error(f"no python files found under: {' '.join(map(str, paths))}")
+
+    if args.format == "json":
+        report = _render_json(findings, checked)
+    else:
+        report = _render_human(findings, checked)
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        summary = f"{len(findings)} finding(s)" if findings else "clean"
+        print(f"reprolint: {summary}; report written to {args.output}")
+    else:
+        print(report)
+
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,218 @@
+"""The lint engine: file walking, pragma suppression, rule dispatch.
+
+A :class:`LintContext` bundles everything a rule needs about one file —
+the parsed tree, the raw source lines, and the file's path normalized
+to posix form relative to the lint root (so rule scopes like
+``src/repro`` match regardless of the invoking directory). Pragmas are
+parsed once per file from the token stream's comments, never from
+string literals.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import io
+import os
+import re
+import tokenize
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]
+
+#: ``# reprolint: disable=RPL001,RPL002 -- optional justification``
+_PRAGMA = re.compile(
+    r"#\s*reprolint:\s*(disable|disable-file)\s*="
+    r"\s*([A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)"
+)
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclasses.dataclass
+class LintContext:
+    """Everything the rules see about one file."""
+
+    path: str  # posix-normalized, relative to the lint root when possible
+    tree: ast.Module
+    lines: list[str]
+    #: line number -> set of rule codes disabled on that line
+    line_pragmas: dict[int, set[str]]
+    #: rule codes disabled for the whole file
+    file_pragmas: set[str]
+
+    def in_scope(self, prefixes: tuple[str, ...] | None) -> bool:
+        """Whether this file falls under any of the scope prefixes.
+
+        ``None`` means the rule applies everywhere. Matching is by path
+        segment so ``src/repro`` matches ``src/repro/cli.py`` and
+        ``/abs/repo/src/repro/cli.py`` but never ``src/repro_other``.
+        """
+        if prefixes is None:
+            return True
+        posix = self.path
+        for prefix in prefixes:
+            if posix == prefix or posix.startswith(prefix + "/"):
+                return True
+            if f"/{prefix}/" in posix:
+                return True
+        return False
+
+    def matches_file(self, suffixes: tuple[str, ...]) -> bool:
+        """Whether the file path ends with any of the given suffixes."""
+        return any(
+            self.path == suffix or self.path.endswith("/" + suffix)
+            for suffix in suffixes
+        )
+
+
+def _parse_pragmas(source: str) -> tuple[dict[int, set[str]], set[str]]:
+    """Collect line- and file-scoped pragmas from the comment tokens."""
+    line_pragmas: dict[int, set[str]] = {}
+    file_pragmas: set[str] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA.search(token.string)
+            if not match:
+                continue
+            codes = {code.strip() for code in match.group(2).split(",")}
+            if match.group(1) == "disable-file":
+                file_pragmas |= codes
+            else:
+                line_pragmas.setdefault(token.start[0], set()).update(codes)
+    except tokenize.TokenError:
+        pass  # a truncated final token; the pragmas seen so far stand
+    return line_pragmas, file_pragmas
+
+
+def _normalize_path(path: str | Path, root: str | Path | None) -> str:
+    """Posix path relative to ``root`` when possible, else as given."""
+    text = str(path)
+    if root is not None:
+        try:
+            text = os.path.relpath(text, str(root))
+        except ValueError:
+            pass  # different drive (windows); keep the original spelling
+    return text.replace(os.sep, "/")
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    root: str | Path | None = None,
+    select: set[str] | None = None,
+) -> list[Finding]:
+    """Lint one source string as if it lived at ``path``.
+
+    The unit-test entry point: rules see the same :class:`LintContext`
+    they would for an on-disk file, so good/bad snippet pairs exercise
+    exactly the shipping code path.
+    """
+    from reprolint.rules import RULES
+
+    normalized = _normalize_path(path, root)
+    try:
+        tree = ast.parse(source, filename=normalized)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=normalized,
+                line=int(exc.lineno or 1),
+                col=int(exc.offset or 0),
+                code="RPL000",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    line_pragmas, file_pragmas = _parse_pragmas(source)
+    ctx = LintContext(
+        path=normalized,
+        tree=tree,
+        lines=source.splitlines(),
+        line_pragmas=line_pragmas,
+        file_pragmas=file_pragmas,
+    )
+    findings: list[Finding] = []
+    for rule in RULES.values():
+        if select is not None and rule.code not in select:
+            continue
+        if not ctx.in_scope(rule.scope):
+            continue
+        if rule.exempt_files and ctx.matches_file(rule.exempt_files):
+            continue
+        if rule.code in ctx.file_pragmas:
+            continue
+        for finding in rule.check(ctx):
+            if finding.code in ctx.line_pragmas.get(finding.line, ()):
+                continue
+            findings.append(finding)
+    return sorted(findings)
+
+
+def lint_file(
+    path: str | Path,
+    *,
+    root: str | Path | None = None,
+    select: set[str] | None = None,
+) -> list[Finding]:
+    """Lint one file on disk."""
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, str(path), root=root, select=select)
+
+
+def iter_python_files(paths: list[str | Path]) -> list[Path]:
+    """Expand files and directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            for child in p.rglob("*.py"):
+                if "__pycache__" in child.parts:
+                    continue
+                if any(part.startswith(".") for part in child.parts):
+                    continue
+                out.add(child)
+        elif p.suffix == ".py":
+            out.add(p)
+    return sorted(out)
+
+
+def lint_paths(
+    paths: list[str | Path],
+    *,
+    root: str | Path | None = None,
+    select: set[str] | None = None,
+) -> tuple[list[Finding], int]:
+    """Lint files/directories; returns ``(findings, n_files_checked)``."""
+    if root is None:
+        root = os.getcwd()
+    files = iter_python_files(paths)
+    findings: list[Finding] = []
+    for file in files:
+        findings.extend(lint_file(file, root=root, select=select))
+    return sorted(findings), len(files)
