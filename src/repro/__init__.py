@@ -62,6 +62,7 @@ from repro.estimators import (
 )
 from repro.exceptions import (
     DataValidationError,
+    DeadlineExceededError,
     EstimatorError,
     InvalidParameterError,
     NotFittedError,
@@ -72,6 +73,9 @@ from repro.exceptions import (
     RemoteTimeoutError,
     ReproError,
     RetryExhaustedError,
+    ServerClosedError,
+    ServerOverloadedError,
+    ServingError,
     WorkerUnavailableError,
 )
 from repro.index.sharded import ExecutorSpec, ShardingConfig
@@ -94,6 +98,7 @@ __all__ = [
     "DBSCAN",
     "DBSCANPlusPlus",
     "DataValidationError",
+    "DeadlineExceededError",
     "EstimatorError",
     "ExactCardinalityEstimator",
     "ExecutionConfig",
@@ -119,6 +124,9 @@ __all__ = [
     "RetryExhaustedError",
     "RhoApproxDBSCAN",
     "SamplingCardinalityEstimator",
+    "ServerClosedError",
+    "ServerOverloadedError",
+    "ServingError",
     "ShardingConfig",
     "WorkerUnavailableError",
     "adjusted_mutual_info",

@@ -49,6 +49,7 @@ from repro.index.sharded import (
     ShardingConfig,
     registered_executors,
 )
+from repro.serving.frontend import add_serve_arguments, run_serve_args
 
 __all__ = ["main", "build_parser", "execution_from_args"]
 
@@ -191,6 +192,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=_positive_int, default=2, help="worker processes"
     )
     ps.add_argument("--host", default="127.0.0.1", help="bind address")
+    ps.add_argument(
+        "--max-cached-shards",
+        type=_positive_int,
+        default=None,
+        help="LRU bound on each worker's warm shard-index cache "
+        "(default: unbounded)",
+    )
+
+    p = sub.add_parser(
+        "serve",
+        help="serve saved model artifacts over TCP with micro-batched "
+        "multi-tenant prediction (see docs/serving.md)",
+    )
+    add_serve_arguments(p)
 
     p = sub.add_parser(
         "predict",
@@ -457,7 +472,11 @@ def _cmd_predict(args, execution: ExecutionConfig) -> list[dict]:
 def _cmd_pool_serve(args) -> int:
     from repro.remote.pool import WorkerPool
 
-    pool = WorkerPool.spawn_local(args.workers, host=args.host)
+    pool = WorkerPool.spawn_local(
+        args.workers,
+        host=args.host,
+        max_cached_shards=args.max_cached_shards,
+    )
     for address in pool.addresses:
         print(f"pool worker listening on {address}", flush=True)
     flags = " ".join(f"--pool-address {a}" for a in pool.addresses)
@@ -492,6 +511,13 @@ def main(argv: list[str] | None = None) -> int:
         # Pool management takes no execution flags: it *is* the fleet
         # that later fits point their execution config at.
         return _cmd_pool_serve(args)
+    if args.command == "serve":
+        # Serving takes no execution flags either: each model artifact
+        # carries its own execution policy.
+        try:
+            return run_serve_args(args)
+        except (InvalidParameterError, PersistenceError) as exc:
+            parser.error(str(exc))
     try:
         execution = execution_from_args(args)
     except InvalidParameterError as exc:

@@ -92,3 +92,39 @@ class RetryExhaustedError(RemoteExecutorError):
     Raised when rebalancing ran out of live workers or the retry budget;
     the message records how many rebalances were attempted.
     """
+
+
+class ServingError(ReproError, RuntimeError):
+    """Base class for serving-subsystem failures.
+
+    Raised by the async micro-batched predict path
+    (:mod:`repro.serving`): deadline misses, admission-queue
+    backpressure, and use-after-shutdown all derive from this so a
+    serving client can treat "the server pushed back" as one category
+    distinct from bad input or a broken artifact.
+    """
+
+
+class DeadlineExceededError(ServingError):
+    """A served request missed its per-request deadline.
+
+    The request may or may not have been computed; its result (if any)
+    was discarded. Deadlines are best-effort cancellation points checked
+    at batch-assembly time and on result delivery.
+    """
+
+
+class ServerOverloadedError(ServingError):
+    """The admission queue is full; the request was rejected.
+
+    Explicit backpressure: the server sheds load immediately instead of
+    queueing without bound. Clients should back off and retry.
+    """
+
+
+class ServerClosedError(ServingError):
+    """A request was submitted to a server that is shutting down.
+
+    In-flight requests admitted before shutdown began still drain to
+    completion; new submissions fail fast with this error.
+    """

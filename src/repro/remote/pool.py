@@ -400,9 +400,20 @@ class WorkerPool:
 
     @classmethod
     def spawn_local(
-        cls, n_workers: int, host: str = "127.0.0.1", start_timeout_s: float = 30.0
+        cls,
+        n_workers: int,
+        host: str = "127.0.0.1",
+        start_timeout_s: float = 30.0,
+        *,
+        max_cached_shards: int | None = None,
+        max_cached_bytes: int | None = None,
     ) -> "WorkerPool":
-        """Fork ``n_workers`` local workers on ephemeral ports."""
+        """Fork ``n_workers`` local workers on ephemeral ports.
+
+        ``max_cached_shards`` / ``max_cached_bytes`` bound each worker's
+        warm shard-index cache (LRU eviction; see
+        :class:`~repro.remote.worker.ShardHolder`).
+        """
         if n_workers < 1:
             raise InvalidParameterError(f"n_workers must be >= 1; got {n_workers}")
         from repro.index.sharded import _start_method
@@ -411,7 +422,10 @@ class WorkerPool:
         queue = ctx.Queue()
         processes = []
         for _ in range(n_workers):
-            proc = ctx.Process(target=_serve_reporting, args=(host, queue))
+            proc = ctx.Process(
+                target=_serve_reporting,
+                args=(host, queue, max_cached_shards, max_cached_bytes),
+            )
             proc.daemon = True
             proc.start()
             processes.append(proc)
@@ -477,8 +491,17 @@ class WorkerPool:
         self.shutdown()
 
 
-def _serve_reporting(host: str, queue) -> None:
+def _serve_reporting(
+    host: str,
+    queue,
+    max_cached_shards: int | None = None,
+    max_cached_bytes: int | None = None,
+) -> None:
     """Worker-process entry: serve on an ephemeral port, report it back."""
-    from repro.remote.worker import serve
+    from repro.remote.worker import ShardHolder, serve
 
-    serve(host, 0, on_bound=lambda h, p: queue.put((h, p)))
+    holder = ShardHolder(
+        max_cached_shards=max_cached_shards,
+        max_cached_bytes=max_cached_bytes,
+    )
+    serve(host, 0, on_bound=lambda h, p: queue.put((h, p)), holder=holder)

@@ -44,10 +44,12 @@ import json
 import os
 import socket
 import threading
+from collections import OrderedDict
+from contextlib import contextmanager
 
 import numpy as np
 
-from repro.exceptions import RemoteProtocolError, ReproError
+from repro.exceptions import InvalidParameterError, RemoteProtocolError, ReproError
 from repro.index import sharded as _sharded
 from repro.remote.protocol import recv_msg, send_msg
 
@@ -87,14 +89,58 @@ def _shard_key(shard: dict) -> tuple:
     )
 
 
-class ShardHolder:
-    """The worker's warm cache: datasets and built shard indexes."""
+def _close_indexes(indexes: list[object]) -> None:
+    """Release evicted indexes outside the holder lock."""
+    for index in indexes:
+        closer = getattr(index, "close", None)
+        if closer is not None:
+            closer()
 
-    def __init__(self) -> None:
+
+def _index_nbytes(index: object) -> int:
+    """Cheap size estimate of a cached shard index: its data matrix.
+
+    Structural arrays (tree nodes, CSR offsets) are a small fraction of
+    the contiguous point copies, so the bytes cap is enforced against
+    the dominant term only.
+    """
+    points = getattr(index, "_points", None)
+    return int(points.nbytes) if isinstance(points, np.ndarray) else 0
+
+
+class ShardHolder:
+    """The worker's warm cache: datasets and built shard indexes.
+
+    ``max_cached_shards`` / ``max_cached_bytes`` bound the shard-index
+    cache with LRU eviction so a long-lived warm worker serving many
+    datasets cannot grow without bound. Entries pinned by an in-flight
+    query (:meth:`acquire`) are never evicted — the cache may overshoot
+    its cap transiently while every resident entry is in use — and an
+    evicted shard is simply rebuilt (and counted) on its next attach.
+    """
+
+    def __init__(
+        self,
+        max_cached_shards: int | None = None,
+        max_cached_bytes: int | None = None,
+    ) -> None:
+        if max_cached_shards is not None and max_cached_shards < 1:
+            raise InvalidParameterError(
+                f"max_cached_shards must be >= 1; got {max_cached_shards}"
+            )
+        if max_cached_bytes is not None and max_cached_bytes < 1:
+            raise InvalidParameterError(
+                f"max_cached_bytes must be >= 1; got {max_cached_bytes}"
+            )
+        self.max_cached_shards = max_cached_shards
+        self.max_cached_bytes = max_cached_bytes
         self._datasets: dict[str, np.ndarray] = {}
-        self._indexes: dict[tuple, object] = {}
+        self._indexes: OrderedDict[tuple, object] = OrderedDict()
+        self._in_use: dict[tuple, int] = {}
+        self._cached_bytes = 0
         self._lock = threading.Lock()
         self.n_builds = 0
+        self.n_evictions = 0
 
     def has_dataset(self, fingerprint: str) -> bool:
         with self._lock:
@@ -104,17 +150,22 @@ class ShardHolder:
         with self._lock:
             self._datasets.setdefault(fingerprint, X)
 
-    def attach(self, shard: dict) -> tuple[object, bool]:
+    def attach(self, shard: dict, *, pin: bool = False) -> tuple[object, bool]:
         """The shard's index, building or loading it on first sight.
 
         Returns ``(index, built)``; ``built`` is True only when this
         call constructed (or loaded) the index — the client sums these
-        to counter-prove warm reuse.
+        to counter-prove warm reuse. ``pin=True`` additionally marks the
+        entry in use (ineligible for eviction) until the matching
+        :meth:`release`; use :meth:`acquire` for the paired form.
         """
         key = _shard_key(shard)
         with self._lock:
             index = self._indexes.get(key)
             if index is not None:
+                self._indexes.move_to_end(key)
+                if pin:
+                    self._in_use[key] = self._in_use.get(key, 0) + 1
                 return index, False
         # Build outside the lock: shard builds are the expensive part
         # and two different shards must not serialize on each other.
@@ -137,10 +188,63 @@ class ShardHolder:
             ).build(np.ascontiguousarray(X[lo:hi]))
         with self._lock:
             winner = self._indexes.setdefault(key, index)
-            if winner is index:
+            built = winner is index
+            self._indexes.move_to_end(key)
+            if built:
                 self.n_builds += 1
-                return index, True
-        return winner, False
+                self._cached_bytes += _index_nbytes(index)
+            if pin:
+                self._in_use[key] = self._in_use.get(key, 0) + 1
+            evicted = self._evict_locked()
+        _close_indexes(evicted)
+        return winner, built
+
+    def release(self, shard: dict) -> None:
+        """Unpin one :meth:`attach(pin=True) <attach>` hold on the shard."""
+        key = _shard_key(shard)
+        with self._lock:
+            count = self._in_use.get(key, 0) - 1
+            if count > 0:
+                self._in_use[key] = count
+            else:
+                self._in_use.pop(key, None)
+            evicted = self._evict_locked()
+        _close_indexes(evicted)
+
+    @contextmanager
+    def acquire(self, shard: dict):
+        """Context-managed pinned attach: ``(index, built)``, auto-released."""
+        result = self.attach(shard, pin=True)
+        try:
+            yield result
+        finally:
+            self.release(shard)
+
+    def _evict_locked(self) -> list[object]:
+        """Evict LRU non-pinned entries until both caps hold (lock held)."""
+        evicted: list[object] = []
+        while self._over_capacity_locked():
+            victim = next(
+                (k for k in self._indexes if k not in self._in_use), None
+            )
+            if victim is None:
+                break  # everything resident is pinned: transient overshoot
+            index = self._indexes.pop(victim)
+            self._cached_bytes -= _index_nbytes(index)
+            self.n_evictions += 1
+            evicted.append(index)
+        return evicted
+
+    def _over_capacity_locked(self) -> bool:
+        if (
+            self.max_cached_shards is not None
+            and len(self._indexes) > self.max_cached_shards
+        ):
+            return True
+        return (
+            self.max_cached_bytes is not None
+            and self._cached_bytes > self.max_cached_bytes
+        )
 
     def stats(self) -> dict[str, int]:
         with self._lock:
@@ -148,6 +252,8 @@ class ShardHolder:
                 "inner_builds": self.n_builds,
                 "datasets": len(self._datasets),
                 "indexes": len(self._indexes),
+                "evictions": self.n_evictions,
+                "cached_bytes": self._cached_bytes,
             }
 
 
@@ -166,14 +272,16 @@ def _handle_request(holder: ShardHolder, header: dict, arrays: dict):
         _, built = holder.attach(header["shard"])
         return {"built": built}, {}, True
     if op == "query":
-        index, built = holder.attach(header["shard"])
         qop = str(header["qop"])
         fn = _sharded._SHARD_OPS.get(qop)
         if fn is None:
             raise RemoteProtocolError(f"unknown shard query op {qop!r}")
         Q = np.asarray(arrays["Q"], dtype=np.float64)
         arg = header["arg"]
-        result = fn(index, Q, int(arg) if qop == "knn" else float(arg))
+        # Pinned attach: an LRU-bounded holder must not evict the index
+        # out from under the query another connection is running.
+        with holder.acquire(header["shard"]) as (index, built):
+            result = fn(index, Q, int(arg) if qop == "knn" else float(arg))
         if qop == "count":
             out = {"counts": result}
         elif qop == "range":
@@ -279,12 +387,28 @@ def worker_main(argv=None) -> int:
     parser.add_argument(
         "--port", type=int, default=0, help="bind port (0 = ephemeral)"
     )
+    parser.add_argument(
+        "--max-cached-shards",
+        type=int,
+        default=None,
+        help="LRU bound on warm shard indexes (default: unbounded)",
+    )
+    parser.add_argument(
+        "--max-cached-bytes",
+        type=int,
+        default=None,
+        help="LRU bytes cap on warm shard indexes (default: unbounded)",
+    )
     args = parser.parse_args(argv)
 
     def announce(host, port):
         print(f"repro pool worker listening on {host}:{port}", flush=True)
 
-    serve(args.host, args.port, on_bound=announce)
+    holder = ShardHolder(
+        max_cached_shards=args.max_cached_shards,
+        max_cached_bytes=args.max_cached_bytes,
+    )
+    serve(args.host, args.port, on_bound=announce, holder=holder)
     return 0
 
 

@@ -1,0 +1,27 @@
+"""Async serving subsystem: micro-batched multi-tenant prediction.
+
+The serving layer turns a saved :class:`~repro.persistence.ClusterModel`
+into a query service: concurrent per-user ``predict(x)`` calls are
+coalesced into one blocked kernel call per flush
+(:class:`MicroBatcher`), routed by model name with per-request
+deadlines, bounded admission, and graceful drain (:class:`ModelServer`),
+and exposed over the repo's length-prefixed TCP protocol
+(:class:`ServingFrontend` / :class:`ServingClient`,
+``python -m repro.serving``). See ``docs/serving.md``.
+"""
+
+from repro.serving.batcher import MicroBatcher
+from repro.serving.client import ServingClient
+from repro.serving.frontend import ServingFrontend, parse_model_specs, serve
+from repro.serving.server import ModelServer
+from repro.serving.stats import ServingStats
+
+__all__ = [
+    "MicroBatcher",
+    "ModelServer",
+    "ServingClient",
+    "ServingFrontend",
+    "ServingStats",
+    "parse_model_specs",
+    "serve",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.serving`` — serve model artifacts over TCP."""
+
+from repro.serving.frontend import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

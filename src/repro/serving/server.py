@@ -1,0 +1,225 @@
+"""Multi-tenant model server: named models, deadlines, graceful drain.
+
+:class:`ModelServer` routes requests by model name to one
+:class:`~repro.serving.batcher.MicroBatcher` per tenant, each wrapping a
+(usually memory-mapped) :class:`~repro.persistence.ClusterModel`. It
+adds the service-level semantics on top of the batcher:
+
+- **multi-tenant routing** — tenants are isolated: each has its own
+  admission queue, kernel thread, and stats, so one hot model cannot
+  starve another's event-loop fairness (the loop round-robins ready
+  tasks) and a bad request only poisons its own tenant;
+- **reload-by-path** — :meth:`reload` swaps a tenant's model without
+  dropping in-flight requests: the new artifact is opened on the
+  tenant's kernel thread, the reference is swapped on the event loop,
+  and the old model is closed via a job queued *behind* every kernel
+  call that may still reference it (the one-thread executor is FIFO);
+- **graceful drain** — :meth:`aclose` stops admissions
+  (:class:`~repro.exceptions.ServerClosedError`), flushes every pending
+  batch, then releases kernel threads and owned models;
+- **observability** — :meth:`stats` returns a JSON-safe per-model
+  snapshot, and ``log_interval_s`` emits it periodically as one
+  structured line on the ``repro.serving`` logger.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import time
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError, ServerClosedError
+from repro.persistence import ClusterModel, load_model
+from repro.serving.batcher import MicroBatcher
+
+logger = logging.getLogger("repro.serving")
+
+_UNSET: Any = object()
+
+
+class _Tenant:
+    __slots__ = ("name", "model", "batcher", "owned")
+
+    def __init__(
+        self, name: str, model: ClusterModel, batcher: MicroBatcher, owned: bool
+    ) -> None:
+        self.name = name
+        self.model = model
+        self.batcher = batcher
+        self.owned = owned
+
+
+class ModelServer:
+    """Serve one or more named ``ClusterModel`` artifacts concurrently.
+
+    Batching knobs (``max_batch_rows``, ``max_wait_ms``,
+    ``max_queue_rows``) apply per tenant; ``default_timeout_s`` is the
+    per-request deadline used when :meth:`submit` is called without an
+    explicit one (``None`` means wait indefinitely).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_batch_rows: int = 256,
+        max_wait_ms: float = 2.0,
+        max_queue_rows: int = 8192,
+        default_timeout_s: float | None = None,
+        log_interval_s: float = 0.0,
+    ) -> None:
+        self._max_batch_rows = max_batch_rows
+        self._max_wait_ms = max_wait_ms
+        self._max_queue_rows = max_queue_rows
+        self._default_timeout_s = default_timeout_s
+        self._log_interval_s = float(log_interval_s)
+        self._tenants: dict[str, _Tenant] = {}
+        self._log_task: asyncio.Task | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # tenant management
+
+    def add_model(
+        self, name: str, source: ClusterModel | str | Path
+    ) -> "ModelServer":
+        """Register ``source`` (a live model, or an artifact path) as ``name``.
+
+        Paths are opened memory-mapped and owned by the server (closed
+        on :meth:`aclose`); live models stay caller-owned. Returns
+        ``self`` so registrations chain.
+        """
+        if self._closed:
+            raise ServerClosedError("server is closed")
+        if name in self._tenants:
+            raise InvalidParameterError(f"model name {name!r} is already registered")
+        owned = not isinstance(source, ClusterModel)
+        model = load_model(source) if owned else source
+        tenant = _Tenant(name, model, _UNSET, owned)
+        tenant.batcher = MicroBatcher(
+            lambda X, _t=tenant: _t.model.predict(X),
+            max_batch_rows=self._max_batch_rows,
+            max_wait_ms=self._max_wait_ms,
+            max_queue_rows=self._max_queue_rows,
+            n_features=model.points.shape[1],
+            validate_fn=lambda rows, _t=tenant: _t.model.metric.validate(rows),
+            name=name,
+        )
+        self._tenants[name] = tenant
+        return self
+
+    def _tenant(self, name: str) -> _Tenant:
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            known = ", ".join(sorted(self._tenants)) or "<none>"
+            raise InvalidParameterError(
+                f"unknown model {name!r}; registered models: {known}"
+            )
+        return tenant
+
+    def model_names(self) -> list[str]:
+        return sorted(self._tenants)
+
+    # ------------------------------------------------------------------
+    # request path
+
+    async def submit(
+        self, name: str, X: np.ndarray, *, timeout_s: float | None = _UNSET
+    ) -> np.ndarray:
+        """Labels for ``X`` from model ``name`` (micro-batched).
+
+        Same output contract as ``ClusterModel.predict``: a 1-d int64
+        array with one label per query row (a 1-d input is one query).
+        """
+        if self._closed:
+            raise ServerClosedError("server is closed")
+        tenant = self._tenant(name)
+        if timeout_s is _UNSET:
+            timeout_s = self._default_timeout_s
+        self._ensure_log_task()
+        return await tenant.batcher.submit(X, timeout_s=timeout_s)
+
+    async def reload(self, name: str, path: str | Path) -> None:
+        """Swap ``name`` to the artifact at ``path`` without a serving gap.
+
+        In-flight requests are never dropped: each batch runs against
+        whichever model is current when its kernel starts, so requests
+        admitted before the swap complete against the old or the new
+        model but always complete. The old model (if server-owned) is
+        closed only after every kernel call that may still reference it
+        has finished (the per-tenant kernel executor is FIFO).
+        """
+        if self._closed:
+            raise ServerClosedError("server is closed")
+        tenant = self._tenant(name)
+        new_model = await tenant.batcher.run_on_worker(lambda: load_model(path))
+        if new_model.points.shape[1] != tenant.model.points.shape[1]:
+            dim = new_model.points.shape[1]
+            await tenant.batcher.run_on_worker(new_model.close)
+            raise InvalidParameterError(
+                f"reload of {name!r} changed dimensionality "
+                f"({tenant.model.points.shape[1]} -> {dim}); register a new "
+                "model name instead"
+            )
+        old_model, old_owned = tenant.model, tenant.owned
+        tenant.model = new_model
+        tenant.owned = True
+        tenant.batcher.stats.count("reloads")
+        if old_owned:
+            # FIFO on the one-thread executor: every kernel queued before
+            # the swap runs before this close job.
+            await tenant.batcher.run_on_worker(old_model.close)
+
+    # ------------------------------------------------------------------
+    # observability
+
+    def stats(self) -> dict[str, Any]:
+        """JSON-safe per-model snapshot of counters and latency histograms."""
+        return {
+            name: tenant.batcher.stats.snapshot()
+            for name, tenant in sorted(self._tenants.items())
+        }
+
+    def _ensure_log_task(self) -> None:
+        if self._log_interval_s <= 0.0:
+            return
+        if self._log_task is None or self._log_task.done():
+            self._log_task = asyncio.get_running_loop().create_task(self._log_loop())
+
+    async def _log_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self._log_interval_s)
+            logger.info(
+                "serving-stats %s",
+                json.dumps({"ts": time.time(), "models": self.stats()}),
+            )
+
+    # ------------------------------------------------------------------
+    # shutdown
+
+    async def aclose(self) -> None:
+        """Stop admissions, drain every tenant, release owned models."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._log_task is not None:
+            self._log_task.cancel()
+            try:
+                await self._log_task
+            except asyncio.CancelledError:
+                pass
+            self._log_task = None
+        for tenant in self._tenants.values():
+            await tenant.batcher.aclose()
+            if tenant.owned:
+                tenant.model.close()
+
+    async def __aenter__(self) -> "ModelServer":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.aclose()

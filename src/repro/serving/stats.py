@@ -1,0 +1,145 @@
+"""Service-level metrics for the serving subsystem.
+
+Per-model rolling counters plus fixed-bucket latency histograms. The
+histograms use logarithmically spaced bucket bounds so one layout covers
+microsecond kernel times and multi-second tail latencies alike; quantile
+estimates are read off the cumulative bucket counts (upper-edge rule,
+clamped to the exact observed maximum), which keeps recording O(1) and
+allocation-free on the hot path.
+
+Everything here is thread-safe: the batcher records from the event-loop
+thread, kernel timings arrive from the executor thread, and ``stats()``
+snapshots may be taken from any frontend connection thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any
+
+# Log-spaced latency bucket upper bounds, in milliseconds: 24 buckets
+# from 10 microseconds to ~2 minutes, ~x2 per step, plus an overflow
+# bucket. Fixed at import time so snapshots from different models (or
+# different processes) are always comparable bucket-for-bucket.
+_LATENCY_BOUNDS_MS: tuple[float, ...] = tuple(0.01 * 2.0**i for i in range(24))
+
+# Batch-size bucket upper bounds (rows per flushed batch), powers of two.
+_SIZE_BOUNDS: tuple[int, ...] = tuple(2**i for i in range(13))
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative-count quantile estimates.
+
+    ``bounds`` are inclusive upper edges; values above the last bound
+    land in an overflow bucket. Not thread-safe on its own — callers
+    hold the owning :class:`ServingStats` lock.
+    """
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def record(self, value: float) -> None:
+        value = max(0.0, float(value))
+        self._counts[bisect_left(self._bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+
+    def quantile(self, q: float) -> float:
+        """Upper-edge quantile estimate; exact-max clamped, 0.0 if empty."""
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self._counts):
+            seen += c
+            if seen >= rank and c > 0:
+                edge = self._bounds[i] if i < len(self._bounds) else self.max
+                return min(edge, self.max)
+        return self.max
+
+    def snapshot(self) -> dict[str, float | int]:
+        mean = self.total / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "mean": mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "max": self.max,
+        }
+
+
+class ServingStats:
+    """Rolling counters + latency histograms for one served model.
+
+    All latency histograms are in milliseconds:
+
+    - ``queue_wait_ms``  — submit to batch assembly start
+    - ``assembly_ms``    — batch assembly (concatenate + bookkeeping)
+    - ``kernel_ms``      — one blocked ``ClusterModel.predict`` call
+    - ``e2e_ms``         — submit to result delivery
+
+    ``batch_rows`` is a row-count histogram over flushed batches (the
+    batch-size distribution: its mean is the effective coalescing
+    factor).
+    """
+
+    _COUNTERS = (
+        "requests",
+        "rows",
+        "batches",
+        "rejected_overload",
+        "deadline_missed",
+        "cancelled",
+        "errors",
+        "reloads",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters = dict.fromkeys(self._COUNTERS, 0)
+        self._queue_wait = Histogram(_LATENCY_BOUNDS_MS)
+        self._assembly = Histogram(_LATENCY_BOUNDS_MS)
+        self._kernel = Histogram(_LATENCY_BOUNDS_MS)
+        self._e2e = Histogram(_LATENCY_BOUNDS_MS)
+        self._batch_rows = Histogram(tuple(float(b) for b in _SIZE_BOUNDS))
+
+    def count(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self._counters[name] += n
+
+    def record_admitted(self, n_rows: int) -> None:
+        with self._lock:
+            self._counters["requests"] += 1
+            self._counters["rows"] += n_rows
+
+    def record_batch(self, n_rows: int, assembly_s: float, kernel_s: float) -> None:
+        with self._lock:
+            self._counters["batches"] += 1
+            self._batch_rows.record(float(n_rows))
+            self._assembly.record(assembly_s * 1e3)
+            self._kernel.record(kernel_s * 1e3)
+
+    def record_request(self, queue_wait_s: float, e2e_s: float) -> None:
+        with self._lock:
+            self._queue_wait.record(queue_wait_s * 1e3)
+            self._e2e.record(e2e_s * 1e3)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe point-in-time snapshot of counters and histograms."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "queue_wait_ms": self._queue_wait.snapshot(),
+                "assembly_ms": self._assembly.snapshot(),
+                "kernel_ms": self._kernel.snapshot(),
+                "e2e_ms": self._e2e.snapshot(),
+                "batch_rows": self._batch_rows.snapshot(),
+            }

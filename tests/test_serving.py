@@ -1,0 +1,369 @@
+"""Serving-subsystem correctness: batching must be invisible.
+
+The contract under test: labels served through the micro-batched async
+path are bit-identical to sequential ``ClusterModel.predict`` calls, no
+matter how concurrent submissions interleave, how request sizes mix, or
+which requests get cancelled or timed out along the way — and overload
+surfaces as typed backpressure, never a deadlock or unbounded queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.exceptions import (
+    DataValidationError,
+    DeadlineExceededError,
+    InvalidParameterError,
+    ServerClosedError,
+    ServerOverloadedError,
+)
+from repro.serving import MicroBatcher, ModelServer
+from repro.serving.stats import Histogram, ServingStats
+from repro.testing import make_blobs_on_sphere
+
+EPS = 0.45
+TAU = 4
+
+
+@pytest.fixture(scope="module")
+def model():
+    X, _ = make_blobs_on_sphere(100, 4, 16, seed=3)
+    with repro.fit_model(X, "dbscan", eps=EPS, tau=TAU) as m:
+        yield m
+
+
+@pytest.fixture(scope="module")
+def queries():
+    # Same seed as the training blobs => same cluster centers, so the
+    # wider spread yields a mix of cluster labels and noise.
+    Q, _ = make_blobs_on_sphere(60, 4, 16, seed=3, spread=0.3)
+    return Q
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestMicroBatcherCore:
+    def test_single_and_multi_row_match_predict(self, model, queries):
+        async def main():
+            async with ModelServer(max_batch_rows=32, max_wait_ms=1.0) as srv:
+                srv.add_model("m", model)
+                one = await srv.submit("m", queries[0])
+                few = await srv.submit("m", queries[:5])
+                return one, few
+
+        one, few = run(main())
+        assert np.array_equal(one, model.predict(queries[0]))
+        assert np.array_equal(few, model.predict(queries[:5]))
+
+    def test_zero_row_request(self, model, queries):
+        async def main():
+            async with ModelServer() as srv:
+                srv.add_model("m", model)
+                return await srv.submit("m", queries[:0])
+
+        out = run(main())
+        assert out.shape == (0,)
+        assert out.dtype == np.int64
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_fuzzed_concurrent_clients_bit_identical(self, model, queries, seed):
+        """Interleaved submissions of mixed sizes == sequential predict."""
+        rng = np.random.default_rng(seed)
+        requests = []
+        lo = 0
+        while lo < queries.shape[0]:
+            n = int(rng.integers(1, 7))
+            requests.append(queries[lo : lo + n])
+            lo += n
+        delays = rng.uniform(0.0, 0.004, size=len(requests))
+
+        async def client(rows, delay):
+            await asyncio.sleep(delay)
+            return await srv.submit("m", rows)
+
+        async def main():
+            async with srv:
+                srv.add_model("m", model)
+                return await asyncio.gather(
+                    *(client(r, d) for r, d in zip(requests, delays))
+                )
+
+        srv = ModelServer(max_batch_rows=16, max_wait_ms=1.0)
+        outs = run(main())
+        for rows, got in zip(requests, outs):
+            assert np.array_equal(got, model.predict(rows))
+
+    def test_requests_actually_coalesce(self, model, queries):
+        async def main():
+            async with ModelServer(max_batch_rows=64, max_wait_ms=5.0) as srv:
+                srv.add_model("m", model)
+                await asyncio.gather(
+                    *(srv.submit("m", queries[i]) for i in range(60))
+                )
+                return srv.stats()["m"]
+
+        snap = run(main())
+        assert snap["counters"]["requests"] == 60
+        assert snap["counters"]["batches"] < 60
+        assert snap["batch_rows"]["mean"] > 1.0
+
+    def test_oversized_request_never_split_but_served(self, model, queries):
+        async def main():
+            async with ModelServer(max_batch_rows=4, max_queue_rows=8) as srv:
+                srv.add_model("m", model)
+                return await srv.submit("m", queries[:50]), srv.stats()["m"]
+
+        got, snap = run(main())
+        assert np.array_equal(got, model.predict(queries[:50]))
+        # One kernel call for the oversized request: requests are demuxed
+        # per future, never split across kernel calls.
+        assert snap["counters"]["batches"] == 1
+
+    def test_multi_tenant_routing(self, queries):
+        X, _ = make_blobs_on_sphere(100, 4, 16, seed=3)
+        with repro.fit_model(X, "dbscan", eps=EPS, tau=TAU) as loose:
+            with repro.fit_model(X, "dbscan", eps=0.05, tau=TAU) as strict:
+
+                async def main():
+                    async with ModelServer(max_wait_ms=1.0) as srv:
+                        srv.add_model("loose", loose).add_model("strict", strict)
+                        a, b = await asyncio.gather(
+                            srv.submit("loose", queries[:40]),
+                            srv.submit("strict", queries[:40]),
+                        )
+                        return a, b
+
+                a, b = run(main())
+                assert np.array_equal(a, loose.predict(queries[:40]))
+                assert np.array_equal(b, strict.predict(queries[:40]))
+                assert not np.array_equal(a, b)
+
+
+class TestBackpressureAndDeadlines:
+    def _slow_batcher(self, delay_s: float = 0.02, **kwargs) -> MicroBatcher:
+        def slow_predict(X):
+            time.sleep(delay_s)
+            return np.zeros(X.shape[0], dtype=np.int64)
+
+        return MicroBatcher(slow_predict, n_features=4, **kwargs)
+
+    def test_overload_returns_typed_error_without_deadlock(self):
+        rows = np.full((1, 4), 0.5)
+
+        async def main():
+            batcher = self._slow_batcher(
+                max_batch_rows=4, max_wait_ms=0.1, max_queue_rows=6
+            )
+            try:
+                results = await asyncio.gather(
+                    *(batcher.submit(rows) for _ in range(60)),
+                    return_exceptions=True,
+                )
+            finally:
+                await batcher.aclose()
+            return results, batcher.stats.snapshot()
+
+        results, snap = run(asyncio.wait_for(main(), timeout=30.0))
+        rejected = [r for r in results if isinstance(r, ServerOverloadedError)]
+        served = [r for r in results if isinstance(r, np.ndarray)]
+        assert rejected, "queue cap never triggered backpressure"
+        assert served, "backpressure starved every request"
+        assert len(rejected) + len(served) == 60
+        assert snap["counters"]["rejected_overload"] == len(rejected)
+        for r in served:
+            assert np.array_equal(r, np.zeros(1, dtype=np.int64))
+
+    def test_deadline_exceeded_is_typed_and_isolated(self):
+        rows = np.full((1, 4), 0.5)
+
+        async def main():
+            batcher = self._slow_batcher(delay_s=0.05, max_wait_ms=0.1)
+            try:
+                with pytest.raises(DeadlineExceededError):
+                    await batcher.submit(rows, timeout_s=0.005)
+                # The next request on the same batcher still completes.
+                ok = await batcher.submit(rows, timeout_s=10.0)
+            finally:
+                await batcher.aclose()
+            return ok, batcher.stats.snapshot()
+
+        ok, snap = run(main())
+        assert np.array_equal(ok, np.zeros(1, dtype=np.int64))
+        assert snap["counters"]["deadline_missed"] >= 1
+
+    def test_cancelled_request_does_not_poison_batch(self, model, queries):
+        async def main():
+            async with ModelServer(max_batch_rows=64, max_wait_ms=20.0) as srv:
+                srv.add_model("m", model)
+                doomed = asyncio.ensure_future(srv.submit("m", queries[0]))
+                alive = asyncio.ensure_future(srv.submit("m", queries[1]))
+                await asyncio.sleep(0.002)
+                doomed.cancel()
+                label = await alive
+                with pytest.raises(asyncio.CancelledError):
+                    await doomed
+                return label, srv.stats()["m"]
+
+        label, snap = run(main())
+        assert np.array_equal(label, model.predict(queries[1]))
+        assert snap["counters"]["cancelled"] >= 1
+
+    def test_per_request_validation_does_not_poison_batch(self, model, queries):
+        bad = np.full(16, 0.5)  # not unit-norm: cosine validate rejects
+
+        async def main():
+            async with ModelServer(max_wait_ms=1.0) as srv:
+                srv.add_model("m", model)
+                with pytest.raises(DataValidationError):
+                    await srv.submit("m", bad)
+                with pytest.raises(InvalidParameterError):
+                    await srv.submit("m", queries[0][:7])  # wrong dim
+                return await srv.submit("m", queries[:3])
+
+        got = run(main())
+        assert np.array_equal(got, model.predict(queries[:3]))
+
+
+class TestLifecycle:
+    def test_submit_after_close_raises(self, model, queries):
+        async def main():
+            srv = ModelServer()
+            srv.add_model("m", model)
+            await srv.aclose()
+            with pytest.raises(ServerClosedError):
+                await srv.submit("m", queries[0])
+
+        run(main())
+
+    def test_aclose_drains_pending(self, model, queries):
+        async def main():
+            srv = ModelServer(max_batch_rows=1024, max_wait_ms=5_000.0)
+            srv.add_model("m", model)
+            pending = [
+                asyncio.ensure_future(srv.submit("m", queries[i]))
+                for i in range(10)
+            ]
+            await asyncio.sleep(0)  # let submissions enqueue
+            await srv.aclose()  # must flush, not strand, the queue
+            return await asyncio.gather(*pending)
+
+        outs = run(main())
+        got = np.concatenate(outs)
+        assert np.array_equal(got, model.predict(queries[:10]))
+
+    def test_unknown_model(self, model, queries):
+        async def main():
+            async with ModelServer() as srv:
+                srv.add_model("m", model)
+                with pytest.raises(InvalidParameterError, match="unknown model"):
+                    await srv.submit("nope", queries[0])
+                with pytest.raises(InvalidParameterError, match="already"):
+                    srv.add_model("m", model)
+
+        run(main())
+
+    def test_reload_swaps_without_dropping(self, model, queries, tmp_path):
+        X, _ = make_blobs_on_sphere(100, 4, 16, seed=3)
+        with repro.fit_model(X, "dbscan", eps=EPS, tau=TAU) as loose:
+            loose.save(tmp_path / "loose")
+        with repro.fit_model(X, "dbscan", eps=0.05, tau=TAU) as strict:
+            strict.save(tmp_path / "strict")
+        with repro.load_model(tmp_path / "loose") as ref_loose:
+            expect_loose = ref_loose.predict(queries)
+        with repro.load_model(tmp_path / "strict") as ref_strict:
+            expect_strict = ref_strict.predict(queries)
+        assert not np.array_equal(expect_loose, expect_strict)
+
+        async def main():
+            async with ModelServer(max_wait_ms=1.0) as srv:
+                srv.add_model("m", tmp_path / "loose")
+                before = await srv.submit("m", queries)
+                # Requests in flight across the swap must complete (with
+                # whichever model their kernel started under), never
+                # drop or error.
+                overlapping = [
+                    asyncio.ensure_future(srv.submit("m", queries))
+                    for _ in range(8)
+                ]
+                await asyncio.sleep(0)
+                await srv.reload("m", tmp_path / "strict")
+                during = await asyncio.gather(*overlapping)
+                after = await srv.submit("m", queries)
+                return before, during, after, srv.stats()["m"]
+
+        before, during, after, snap = run(main())
+        assert np.array_equal(before, expect_loose)
+        assert np.array_equal(after, expect_strict)
+        for got in during:
+            assert np.array_equal(got, expect_loose) or np.array_equal(
+                got, expect_strict
+            )
+        assert snap["counters"]["reloads"] == 1
+
+    def test_reload_dim_change_rejected(self, model, tmp_path):
+        X8, _ = make_blobs_on_sphere(50, 4, 8, seed=5)
+        with repro.fit_model(X8, "dbscan", eps=EPS, tau=TAU) as other:
+            other.save(tmp_path / "dim8")
+
+        async def main():
+            async with ModelServer() as srv:
+                srv.add_model("m", model)
+                with pytest.raises(InvalidParameterError, match="dimensionality"):
+                    await srv.reload("m", tmp_path / "dim8")
+
+        run(main())
+
+
+class TestStats:
+    def test_snapshot_is_json_safe_and_ordered(self, model, queries):
+        async def main():
+            async with ModelServer(max_wait_ms=1.0) as srv:
+                srv.add_model("m", model)
+                await asyncio.gather(
+                    *(srv.submit("m", queries[i : i + 3]) for i in range(0, 60, 3))
+                )
+                return srv.stats()
+
+        stats = run(main())
+        snap = stats["m"]
+        json.dumps(stats)  # JSON-safe end to end
+        assert set(snap["counters"]) >= {
+            "requests",
+            "rows",
+            "batches",
+            "rejected_overload",
+            "deadline_missed",
+            "cancelled",
+            "errors",
+            "reloads",
+        }
+        for hist in ("queue_wait_ms", "assembly_ms", "kernel_ms", "e2e_ms"):
+            h = snap[hist]
+            assert h["p50"] <= h["p95"] <= h["p99"] <= h["max"]
+        assert snap["counters"]["rows"] == 60
+        assert snap["e2e_ms"]["count"] == snap["counters"]["requests"]
+
+    def test_histogram_quantiles(self):
+        h = Histogram((1.0, 2.0, 4.0, 8.0))
+        for v in [0.5] * 50 + [3.0] * 45 + [7.0] * 5:
+            h.record(v)
+        assert h.count == 100
+        assert h.quantile(0.5) <= 1.0
+        assert 2.0 < h.quantile(0.95) <= 4.0
+        assert h.quantile(0.99) <= 8.0
+        assert h.max == 7.0
+        assert h.quantile(1.0) == 7.0  # clamped to observed max
+
+    def test_stats_counters_reject_unknown(self):
+        stats = ServingStats()
+        with pytest.raises(KeyError):
+            stats.count("nope")
